@@ -1,0 +1,59 @@
+//! Criterion bench: markup-language lexing, parsing, serialization and
+//! scenario lowering (the FIG1 pipeline).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use hermes_core::{DocumentId, ServerId};
+use hermes_hml::{build_scenario, parse, serialize, FIGURE2_MARKUP};
+
+fn large_document(paragraphs: usize) -> String {
+    let mut m = String::from("<TITLE> Large generated document </TITLE>\n<H1> Chapter </H1>\n");
+    for j in 0..paragraphs {
+        m.push_str(&format!(
+            "<TEXT> paragraph {j} with <B> emphasis </B> and <I> style </I> </TEXT>\n<PAR>\n\
+             <IMG> SOURCE=figs/f{j}.jpg STARTIME={j}s DURATION=2s WHERE=10,20 WIDTH=320 HEIGHT=240 ID={} </IMG>\n",
+            j * 3 + 1
+        ));
+    }
+    m.push_str(
+        "<AU_VI> STARTIME=0s DURATION=30s SOURCE=a.pcm SOURCE=v.mpg ID=9000 ID=9001 </AU_VI>\n",
+    );
+    m.push_str("<HLINK> AT=60s TO=doc2 KIND=SEQ </HLINK>\n");
+    m
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hml");
+
+    g.throughput(Throughput::Bytes(FIGURE2_MARKUP.len() as u64));
+    g.bench_function("parse_figure2", |b| {
+        b.iter(|| parse(FIGURE2_MARKUP).unwrap())
+    });
+
+    let big = large_document(100);
+    g.throughput(Throughput::Bytes(big.len() as u64));
+    g.bench_function("parse_large_100p", |b| b.iter(|| parse(&big).unwrap()));
+
+    let ast = parse(&big).unwrap();
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("serialize_large", |b| b.iter(|| serialize(&ast)));
+
+    g.bench_function("lower_to_scenario_large", |b| {
+        b.iter_batched(
+            || ast.clone(),
+            |doc| build_scenario(&doc, DocumentId::new(1), ServerId::new(0)).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("round_trip_figure2", |b| {
+        b.iter(|| {
+            let doc = parse(FIGURE2_MARKUP).unwrap();
+            let text = serialize(&doc);
+            parse(&text).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_parser);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Criterion bench: client-side machinery — media buffers, schedule
+//! computation and the playout engine's tick loop.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use hermes_client::{BufferConfig, MediaBuffer, PlayoutConfig, PlayoutEngine};
+use hermes_core::{
+    ComponentContent, ComponentId, DocumentId, Encoding, GradeLevel, MediaComponent, MediaDuration,
+    MediaSource, MediaTime, PlayoutSchedule, Scenario, ServerId, SyncGroup,
+};
+use hermes_media::MediaFrame;
+use std::collections::BTreeMap;
+
+fn frame(c: u64, seq: u64, pts_ms: i64) -> MediaFrame {
+    MediaFrame {
+        component: ComponentId::new(c),
+        seq,
+        pts: MediaTime::from_millis(pts_ms),
+        size: 1_000,
+        key: true,
+        level: GradeLevel::NOMINAL,
+        last: false,
+    }
+}
+
+fn av_scenario(streams: u64, secs: i64) -> Scenario {
+    let mut s = Scenario::new(DocumentId::new(1), "bench");
+    for i in 0..streams {
+        s.components.push(MediaComponent {
+            id: ComponentId::new(i),
+            content: ComponentContent::Stored {
+                source: MediaSource::new(ServerId::new(0), format!("m{i}")),
+                encoding: if i % 2 == 0 {
+                    Encoding::Pcm
+                } else {
+                    Encoding::Mpeg
+                },
+            },
+            start: MediaTime::ZERO,
+            duration: Some(MediaDuration::from_secs(secs)),
+            region: None,
+            note: None,
+        });
+    }
+    for pair in (0..streams).step_by(2) {
+        if pair + 1 < streams {
+            s.sync_groups.push(SyncGroup {
+                members: vec![ComponentId::new(pair), ComponentId::new(pair + 1)],
+            });
+        }
+    }
+    s
+}
+
+fn bench_playout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("playout");
+    const FRAMES: u64 = 1_000;
+
+    g.throughput(Throughput::Elements(FRAMES));
+    g.bench_function("buffer_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut buf = MediaBuffer::new(
+                ComponentId::new(1),
+                BufferConfig::default(),
+                MediaDuration::from_millis(40),
+            );
+            for i in 0..FRAMES {
+                buf.push(frame(1, i, i as i64 * 40));
+                if i % 2 == 1 {
+                    buf.pop();
+                    buf.pop();
+                }
+            }
+            buf
+        })
+    });
+
+    g.bench_function("schedule_from_scenario_32_streams", |b| {
+        let s = av_scenario(32, 30);
+        b.iter(|| PlayoutSchedule::from_scenario(&s))
+    });
+
+    // Full 8-stream, 10-second engine run at 20 ms ticks with paced delivery.
+    g.bench_function("engine_run_8_streams_10s", |b| {
+        let scenario = av_scenario(8, 10);
+        let schedule = PlayoutSchedule::from_scenario(&scenario);
+        let periods: BTreeMap<ComponentId, MediaDuration> = (0..8)
+            .map(|i| {
+                (
+                    ComponentId::new(i),
+                    MediaDuration::from_millis(if i % 2 == 0 { 20 } else { 40 }),
+                )
+            })
+            .collect();
+        b.iter_batched(
+            || {
+                PlayoutEngine::new(
+                    &scenario,
+                    &schedule,
+                    BufferConfig::with_window(MediaDuration::from_millis(400)),
+                    &periods,
+                    PlayoutConfig::default(),
+                )
+            },
+            |mut e| {
+                let mut next: Vec<u64> = vec![0; 8];
+                e.start(MediaTime::ZERO);
+                for t in 0..520 {
+                    let now = MediaTime::from_millis(t * 20);
+                    for (i, nf) in next.iter_mut().enumerate() {
+                        let period = if i % 2 == 0 { 20 } else { 40 };
+                        while *nf * period < (t as u64 * 20).saturating_add(400)
+                            && *nf * period < 10_000
+                        {
+                            e.deliver(frame(i as u64, *nf, (*nf * period) as i64));
+                            *nf += 1;
+                        }
+                    }
+                    e.tick(now);
+                }
+                e
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_playout);
+criterion_main!(benches);

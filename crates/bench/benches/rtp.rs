@@ -1,0 +1,68 @@
+//! Criterion bench: RTP packet encode/decode, packetization/reassembly and
+//! the receiver-statistics pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hermes_core::{ComponentId, Encoding, GradeLevel, MediaDuration, MediaTime};
+use hermes_media::{FrameSource, MediaFrame};
+use hermes_rtp::{PayloadType, RtpPacket, RtpReceiver, RtpSender};
+
+fn bench_rtp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rtp");
+
+    let pkt = RtpPacket::synthetic(PayloadType::Mpeg, true, 42, 90_000, 7, 1_400);
+    g.throughput(Throughput::Bytes(pkt.encode().len() as u64));
+    g.bench_function("encode_1400B", |b| b.iter(|| pkt.encode()));
+    let wire = pkt.encode();
+    g.bench_function("decode_1400B", |b| {
+        b.iter(|| RtpPacket::decode(wire.clone()).unwrap())
+    });
+
+    // Packetize + receive one second of MPEG video (25 frames, fragmented).
+    let frames: Vec<MediaFrame> = FrameSource::new(
+        ComponentId::new(1),
+        Encoding::Mpeg,
+        9,
+        MediaDuration::from_secs(1),
+    )
+    .collect_all();
+    g.throughput(Throughput::Elements(frames.len() as u64));
+    g.bench_function("packetize_receive_1s_mpeg", |b| {
+        b.iter(|| {
+            let mut tx = RtpSender::new(3, Encoding::Mpeg);
+            let mut rx = RtpReceiver::new(Encoding::Mpeg);
+            let mut t = MediaTime::ZERO;
+            for f in &frames {
+                for p in tx.packetize(f) {
+                    rx.on_packet(&p, t);
+                    t += MediaDuration::from_micros(500);
+                }
+            }
+            let got = rx.take_frames();
+            assert_eq!(got.len(), frames.len());
+            got
+        })
+    });
+
+    // Receiver report generation over a lossy stream.
+    g.bench_function("receiver_report_after_1s", |b| {
+        let mut tx = RtpSender::new(3, Encoding::Mpeg);
+        let all: Vec<RtpPacket> = frames.iter().flat_map(|f| tx.packetize(f)).collect();
+        b.iter(|| {
+            let mut rx = RtpReceiver::new(Encoding::Mpeg);
+            let mut t = MediaTime::ZERO;
+            for (i, p) in all.iter().enumerate() {
+                if i % 10 != 0 {
+                    rx.on_packet(p, t);
+                }
+                t += MediaDuration::from_micros(500);
+            }
+            rx.receiver_report(1, t)
+        })
+    });
+
+    let _ = GradeLevel::NOMINAL;
+    g.finish();
+}
+
+criterion_group!(benches, bench_rtp);
+criterion_main!(benches);

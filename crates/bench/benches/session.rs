@@ -1,0 +1,42 @@
+//! Criterion bench: a complete end-to-end service session (the quickstart
+//! scenario) — the headline "whole system" number.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hermes_core::{DocumentId, MediaTime, ServerId};
+use hermes_service::{install_figure2, ClientConfig, ServerConfig, WorldBuilder};
+use hermes_simnet::{LinkSpec, SimRng};
+
+fn full_session() -> u64 {
+    let mut b = WorldBuilder::new(42);
+    let server = b.add_server(
+        ServerId::new(0),
+        LinkSpec::lan(10_000_000),
+        ServerConfig::default(),
+    );
+    let client = b.add_client(LinkSpec::lan(10_000_000), ClientConfig::default());
+    let mut sim = b.build(42);
+    let mut rng = SimRng::seed_from_u64(7);
+    install_figure2(
+        sim.app_mut().server_mut(server),
+        DocumentId::new(1),
+        &mut rng,
+    );
+    sim.with_api(|w, api| {
+        w.client_mut(client)
+            .connect(api, server, Some(DocumentId::new(1)));
+    });
+    sim.run_until(MediaTime::from_secs(25));
+    let c = sim.app().client(client);
+    assert_eq!(c.completed.len(), 1);
+    sim.stats().delivered
+}
+
+fn bench_session(c: &mut Criterion) {
+    let mut g = c.benchmark_group("session");
+    g.sample_size(20);
+    g.bench_function("figure2_end_to_end_19s", |b| b.iter(full_session));
+    g.finish();
+}
+
+criterion_group!(benches, bench_session);
+criterion_main!(benches);

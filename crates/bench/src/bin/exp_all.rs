@@ -1,0 +1,43 @@
+//! Run every experiment binary in sequence (the full EXPERIMENTS.md
+//! regeneration). Exits non-zero if any experiment fails.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "exp_tab1",
+    "exp_fig1",
+    "exp_fig2",
+    "exp_fig3",
+    "exp_fig4",
+    "exp_fig5",
+    "exp_skew",
+    "exp_window",
+    "exp_grade",
+    "exp_admit",
+    "exp_search",
+    "exp_migrate",
+    "exp_ablate",
+    "exp_concur",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failed = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n################ {name} ################");
+        let status = Command::new(dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        if !status.success() {
+            failed.push(*name);
+        }
+    }
+    println!("\n################ summary ################");
+    if failed.is_empty() {
+        println!("all {} experiments passed ✓", EXPERIMENTS.len());
+    } else {
+        println!("FAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,152 @@
+#![allow(clippy::field_reassign_with_default)]
+//! EXP-CONCUR — service scalability: concurrent clients sharing one
+//! multimedia server uplink. The paper positions the service for broadband
+//! deployment (HPDC venue) but never measures multi-client behaviour; this
+//! experiment sweeps the client count and reports per-client quality and
+//! aggregate delivery.
+
+use hermes_bench::{print_table, Table};
+use hermes_core::{MediaTime, PricingClass, ServerId};
+use hermes_service::{install_course, ClientConfig, LessonShape, ServerConfig, WorldBuilder};
+use hermes_simnet::{LinkSpec, SimRng};
+
+struct Point {
+    clients: usize,
+    completed: usize,
+    rejected: usize,
+    mean_startup_ms: f64,
+    total_glitches: u64,
+    total_disruptions: u64,
+    degrades: u64,
+    uplink_mbps: f64,
+}
+
+fn run_point(n_clients: usize, seed: u64) -> Point {
+    let mut b = WorldBuilder::new(seed);
+    // One server behind a 25 Mbps uplink (the shared bottleneck).
+    let server = b.add_server(
+        ServerId::new(0),
+        LinkSpec::lan(25_000_000),
+        ServerConfig::default(),
+    );
+    let mut clients = Vec::new();
+    for _ in 0..n_clients {
+        let mut cfg = ClientConfig::default();
+        cfg.class = PricingClass::Premium; // isolate sharing, not admission
+        cfg.form.class = PricingClass::Premium;
+        clients.push(b.add_client(LinkSpec::lan(100_000_000), cfg));
+    }
+    let mut sim = b.build(seed);
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x5151);
+    let lessons = install_course(
+        sim.app_mut().server_mut(server),
+        "Shared",
+        &["scalability"],
+        1,
+        1,
+        LessonShape {
+            images: 1,
+            image_secs: 2,
+            narrated_clip_secs: Some(20),
+            closing_audio_secs: None,
+        },
+        &mut rng,
+    );
+    // Staggered arrivals over 3 s.
+    for (i, node) in clients.iter().enumerate() {
+        let node = *node;
+        let doc = lessons[0];
+        sim.run_until(MediaTime::from_micros(
+            (i as i64 * 3_000_000) / n_clients.max(1) as i64,
+        ));
+        sim.with_api(|w, api| {
+            w.client_mut(node).connect(api, server, Some(doc));
+        });
+    }
+    let horizon = MediaTime::from_secs(60);
+    sim.run_until(horizon);
+
+    let mut p = Point {
+        clients: n_clients,
+        completed: 0,
+        rejected: 0,
+        mean_startup_ms: 0.0,
+        total_glitches: 0,
+        total_disruptions: 0,
+        degrades: 0,
+        uplink_mbps: 0.0,
+    };
+    let mut startup_sum = 0f64;
+    for node in &clients {
+        let c = sim.app().client(*node);
+        if !c.errors.is_empty() {
+            p.rejected += 1;
+            continue;
+        }
+        if let Some((_, startup, _)) = c.completed.first() {
+            p.completed += 1;
+            startup_sum += startup.as_millis() as f64;
+        }
+        if let Some(pres) = &c.presentation {
+            let s = pres.engine.total_stats();
+            p.total_glitches += s.glitches;
+            p.total_disruptions += s.glitches + s.duplicates_played + s.frames_dropped;
+        }
+    }
+    if p.completed > 0 {
+        p.mean_startup_ms = startup_sum / p.completed as f64;
+    }
+    let srv = sim.app().server(server);
+    for sess in srv.sessions.values() {
+        p.degrades += sess.qos.degrades_issued;
+    }
+    let bytes: u64 = srv
+        .sessions
+        .values()
+        .flat_map(|s| s.streams.values())
+        .map(|t| t.bytes_sent)
+        .sum();
+    // Mean uplink utilization over the active window (~25 s of streaming).
+    p.uplink_mbps = bytes as f64 * 8.0 / 25.0 / 1e6;
+    p
+}
+
+fn main() {
+    println!(
+        "workload: N clients each streaming a 22 s lesson (≈2.25 Mbps nominal)\n\
+         through one 25 Mbps server uplink; Premium contracts (97% utilization\n\
+         ceiling) — ≈10 nominal-rate flows fit"
+    );
+    let mut t = Table::new(vec![
+        "clients",
+        "completed",
+        "rejected",
+        "mean startup (ms)",
+        "glitches",
+        "disruptions",
+        "degrades",
+        "mean uplink Mbps",
+    ]);
+    for &n in &[1usize, 4, 8, 10, 12, 16] {
+        let p = run_point(n, 7);
+        t.row(vec![
+            p.clients.to_string(),
+            p.completed.to_string(),
+            p.rejected.to_string(),
+            format!("{:.0}", p.mean_startup_ms),
+            p.total_glitches.to_string(),
+            p.total_disruptions.to_string(),
+            p.degrades.to_string(),
+            format!("{:.1}", p.uplink_mbps),
+        ]);
+    }
+    print_table("EXP-CONCUR — concurrent clients on one 25 Mbps uplink", &t);
+    println!(
+        "expected shape: per-client quality is flat (zero glitches, constant\n\
+         startup) at every scale because bandwidth reservations gate admission:\n\
+         once the uplink is committed (~10 flows) additional requests are\n\
+         rejected instead of degrading everyone — the paper's admission rule\n\
+         protecting existing users. Grading handles *in-session* congestion\n\
+         (EXP-GRADE); admission handles *inter-session* contention."
+    );
+}

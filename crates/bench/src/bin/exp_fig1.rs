@@ -1,0 +1,111 @@
+//! FIG1 — exercise every production of the markup-language grammar
+//! (paper Fig. 1, BNF) against the hand-written parser, and report a
+//! production-coverage table plus parser throughput on a generated corpus.
+
+use hermes_bench::{print_table, Table};
+use hermes_core::{DocumentId, ServerId};
+use hermes_hml::{parse, scenario_from_markup, serialize};
+use std::time::Instant;
+
+/// One grammar production and a witness document exercising it.
+fn witnesses() -> Vec<(&'static str, String)> {
+    vec![
+        ("<Hdocument> (TITLE)", "<TITLE> t </TITLE>".into()),
+        ("<HSentence> (empty)", "<TITLE> t </TITLE>".into()),
+        ("<Heading1>", "<TITLE>t</TITLE> <H1> h </H1> <TEXT> x </TEXT>".into()),
+        ("<Heading2>", "<TITLE>t</TITLE> <H2> h </H2> <TEXT> x </TEXT>".into()),
+        ("<Heading3>", "<TITLE>t</TITLE> <H3> h </H3> <TEXT> x </TEXT>".into()),
+        ("<Par>", "<TITLE>t</TITLE> <PAR>".into()),
+        ("<Separator>", "<TITLE>t</TITLE> <TEXT> a </TEXT> <SEP> <TEXT> b </TEXT>".into()),
+        ("<Document>/<Text>", "<TITLE>t</TITLE> <TEXT> some text </TEXT>".into()),
+        ("<Image> + <ImgOptions>", "<TITLE>t</TITLE> <IMG> SOURCE=a.jpg STARTIME=1s DURATION=2s HEIGHT=10 WIDTH=20 ID=1 NOTE=\"n\" </IMG>".into()),
+        ("<Audio> + <AuOptions>", "<TITLE>t</TITLE> <AU> SOURCE=a.pcm STARTIME=0s DURATION=3s ID=1 </AU>".into()),
+        ("<Video> + <ViOptions>", "<TITLE>t</TITLE> <VI> SOURCE=v.mpg STARTIME=0s DURATION=3s ID=1 </VI>".into()),
+        ("<Audio_Video> + <SyncOption>", "<TITLE>t</TITLE> <AU_VI> STARTIME=1s STARTIME=1s DURATION=4s SOURCE=a SOURCE=v ID=1 ID=2 </AU_VI>".into()),
+        ("<HyperLink> (to_HyperText)", "<TITLE>t</TITLE> <HLINK> TO=doc2 KIND=SEQ </HLINK>".into()),
+        ("<HyperLink> (to_OtherHost)", "<TITLE>t</TITLE> <HLINK> TO=doc2 HOST=srv3 KIND=EXP </HLINK>".into()),
+        ("<TimeOption> (AT link)", "<TITLE>t</TITLE> <HLINK> AT=5s TO=doc2 </HLINK>".into()),
+        ("<Note>", "<TITLE>t</TITLE> <IMG> SOURCE=a NOTE=\"annotated\" </IMG>".into()),
+        ("styles B/I/U", "<TITLE>t</TITLE> <TEXT> <B> b </B> <I> i </I> <U> u </U> </TEXT>".into()),
+        ("full Fig.2 scenario", hermes_hml::FIGURE2_MARKUP.to_string()),
+    ]
+}
+
+fn big_corpus(docs: usize) -> Vec<String> {
+    (0..docs)
+        .map(|i| {
+            let mut m = format!("<TITLE> Document {i} </TITLE>\n<H1> Section </H1>\n");
+            for j in 0..10 {
+                m.push_str(&format!(
+                    "<TEXT> paragraph {j} with <B> bold </B> content </TEXT>\n<PAR>\n\
+                     <IMG> SOURCE=figs/{i}-{j}.jpg STARTIME={j}s DURATION=2s ID={id} </IMG>\n",
+                    id = j * 2 + 1
+                ));
+            }
+            m.push_str("<AU_VI> STARTIME=20s DURATION=10s SOURCE=a.pcm SOURCE=v.mpg ID=100 ID=101 </AU_VI>\n");
+            m.push_str("<HLINK> AT=30s TO=doc2 KIND=SEQ </HLINK>\n");
+            m
+        })
+        .collect()
+}
+
+fn main() {
+    let mut t = Table::new(vec![
+        "production",
+        "accepted",
+        "round-trips",
+        "lowers to scenario",
+    ]);
+    let mut all_ok = true;
+    for (name, src) in witnesses() {
+        let parsed = parse(&src);
+        let accepted = parsed.is_ok();
+        let (rt, lowered) = match &parsed {
+            Ok(doc) => {
+                let rt = parse(&serialize(doc)).as_ref() == Ok(doc);
+                let low = scenario_from_markup(&src, DocumentId::new(1), ServerId::new(0)).is_ok();
+                (rt, low)
+            }
+            Err(_) => (false, false),
+        };
+        all_ok &= accepted && rt && lowered;
+        t.row(vec![
+            name.to_string(),
+            tick(accepted),
+            tick(rt),
+            tick(lowered),
+        ]);
+    }
+    print_table("Fig. 1 — grammar production coverage", &t);
+
+    // Throughput on a generated corpus.
+    let corpus = big_corpus(200);
+    let bytes: usize = corpus.iter().map(|s| s.len()).sum();
+    let start = Instant::now();
+    let mut parsed = 0;
+    for src in &corpus {
+        let doc = parse(src).expect("corpus parses");
+        parsed += doc.media_count();
+    }
+    let dt = start.elapsed();
+    println!(
+        "corpus: {} documents / {} KiB parsed in {:?} ({:.1} MiB/s), {} media elements",
+        corpus.len(),
+        bytes / 1024,
+        dt,
+        bytes as f64 / 1048576.0 / dt.as_secs_f64(),
+        parsed
+    );
+    if !all_ok {
+        std::process::exit(1);
+    }
+    println!("all productions accepted, round-tripped and lowered ✓");
+}
+
+fn tick(b: bool) -> String {
+    if b {
+        "yes".into()
+    } else {
+        "NO".into()
+    }
+}

@@ -1,0 +1,113 @@
+//! FIG5 — the protocol stack: run a full session (document + media + mail)
+//! and account every delivered message to its stack path, verifying the
+//! paper's mapping — scenario/discrete media/control over TCP, continuous
+//! media over RTP/UDP, feedback over RTCP, mail over SMTP/MIME.
+
+use hermes_bench::{print_table, Table};
+use hermes_core::{MediaTime, ServerId};
+use hermes_service::{
+    install_course, ClientConfig, LessonShape, MailMessage, ServerConfig, StackPath, WorldBuilder,
+};
+use hermes_simnet::{LinkSpec, SimRng};
+
+fn main() {
+    let mut b = WorldBuilder::new(51);
+    let server = b.add_server(
+        ServerId::new(0),
+        LinkSpec::lan(20_000_000),
+        ServerConfig::default(),
+    );
+    let client = b.add_client(LinkSpec::lan(20_000_000), ClientConfig::default());
+    let mut sim = b.build(51);
+    let mut rng = SimRng::seed_from_u64(52);
+    let lessons = install_course(
+        sim.app_mut().server_mut(server),
+        "Stack",
+        &["layers"],
+        1,
+        1,
+        LessonShape {
+            images: 2,
+            image_secs: 3,
+            narrated_clip_secs: Some(10),
+            closing_audio_secs: None,
+        },
+        &mut rng,
+    );
+    sim.with_api(|w, api| {
+        w.client_mut(client).connect(api, server, Some(lessons[0]));
+    });
+    sim.run_until(MediaTime::from_secs(20));
+    // Exercise the mail path too.
+    sim.with_api(|w, api| {
+        w.client_mut(client).send_mail(
+            api,
+            MailMessage {
+                from: "user@hermes".into(),
+                to: "tutor@hermes".into(),
+                subject: "stack".into(),
+                body: "testing the SMTP path".into(),
+                attachments: vec![("image/jpeg".into(), 2_000)],
+            },
+        );
+        w.client_mut(client).fetch_mail(api, "tutor@hermes");
+    });
+    sim.run_until(MediaTime::from_secs(22));
+
+    let world = sim.app();
+    let c = world.client(client);
+    assert!(c.errors.is_empty(), "{:?}", c.errors);
+
+    let total_bytes: u64 = world.stack_bytes.values().map(|(_, b)| *b).sum();
+    let mut t = Table::new(vec![
+        "stack path (Fig. 5)",
+        "transport",
+        "packets",
+        "bytes",
+        "% of bytes",
+    ]);
+    let label = |p: &StackPath| match p {
+        StackPath::ControlTcp => ("scenario + discrete media + control", "TCP/IP"),
+        StackPath::MediaRtpUdp => ("continuous media (audio/video)", "RTP/UDP/IP"),
+        StackPath::FeedbackRtcpUdp => ("receiver reports (feedback)", "RTCP/UDP/IP"),
+        StackPath::MailSmtp => ("asynchronous interaction (mail)", "SMTP/MIME"),
+    };
+    for (path, (pkts, bytes)) in &world.stack_bytes {
+        let (what, transport) = label(path);
+        t.row(vec![
+            what.to_string(),
+            transport.to_string(),
+            pkts.to_string(),
+            bytes.to_string(),
+            format!("{:.1}%", *bytes as f64 * 100.0 / total_bytes as f64),
+        ]);
+    }
+    print_table(
+        "Fig. 5 — protocol stack byte accounting (delivered messages)",
+        &t,
+    );
+
+    // The paper's mapping must hold: all four paths were exercised, and
+    // continuous media dominates the byte count.
+    for p in [
+        StackPath::ControlTcp,
+        StackPath::MediaRtpUdp,
+        StackPath::FeedbackRtcpUdp,
+        StackPath::MailSmtp,
+    ] {
+        assert!(
+            world
+                .stack_bytes
+                .get(&p)
+                .map(|(n, _)| *n > 0)
+                .unwrap_or(false),
+            "stack path {p:?} unused"
+        );
+    }
+    let media = world.stack_bytes[&StackPath::MediaRtpUdp].1;
+    assert!(
+        media * 2 > total_bytes,
+        "continuous media should dominate bytes: {media} of {total_bytes}"
+    );
+    println!("FIG5 reproduction ✓ (all four stack paths active, media dominates)");
+}

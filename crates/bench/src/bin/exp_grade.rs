@@ -1,0 +1,211 @@
+#![allow(clippy::field_reassign_with_default)]
+//! EXP-GRADE — claim: the long-term recovery (media quality grading driven
+//! by client feedback) lets a presentation survive sustained congestion that
+//! the nominal rates cannot fit, degrading video before audio and upgrading
+//! when the network recovers.
+//!
+//! A 30 s A/V clip crosses a link that drops to ~45% effective capacity for
+//! 12 s mid-stream. With grading ON vs OFF, trace the video quality level
+//! and delivered rate over time, and compare playout quality.
+
+use hermes_bench::harness::standard_lesson;
+use hermes_bench::{print_table, StreamingParams, Table};
+use hermes_client::BufferConfig;
+use hermes_client::PlayoutConfig;
+use hermes_core::{GradingOrder, MediaKind, MediaTime, ServerId};
+use hermes_service::{install_course, ClientConfig, ServerConfig, WorldBuilder};
+use hermes_simnet::{CongestionEpoch, CongestionProfile, LinkSpec, SimRng};
+
+struct TraceRow {
+    t: i64,
+    audio_level: u8,
+    video_level: u8,
+    video_kbps: u64,
+    stopped: bool,
+}
+
+fn run_traced(
+    grading: bool,
+    order: GradingOrder,
+    seed: u64,
+) -> (Vec<TraceRow>, hermes_bench::StreamingMetrics) {
+    // Build the same world the harness would, but sample levels per second.
+    let p = StreamingParams {
+        access_bps: 4_000_000,
+        congestion: CongestionProfile::new(vec![CongestionEpoch {
+            start: MediaTime::from_secs(10),
+            end: MediaTime::from_secs(22),
+            load: 0.55,
+            extra_loss: 0.02,
+        }]),
+        grading,
+        grading_order: order,
+        clip_secs: 30,
+        horizon: MediaTime::from_secs(55),
+        seed,
+        ..Default::default()
+    };
+    // Inline a traced variant of run_streaming_session.
+    let mut b = WorldBuilder::new(p.seed);
+    let mut server_cfg = ServerConfig::default();
+    if !grading {
+        server_cfg.hysteresis = hermes_core::GradingHysteresis {
+            degrade_above: 1e18,
+            upgrade_below: 0.5,
+            upgrade_patience: 3,
+        };
+    }
+    server_cfg.grading_order = order;
+    let server = b.add_server(ServerId::new(0), LinkSpec::lan(100_000_000), server_cfg);
+    let mut access = LinkSpec::lan(p.access_bps);
+    access.queue_capacity_bytes = p.queue_bytes;
+    access.congestion = p.congestion.clone();
+    let mut ccfg = ClientConfig::default();
+    ccfg.class = p.class;
+    ccfg.form.class = p.class;
+    ccfg.buffer = BufferConfig::with_window(p.time_window);
+    ccfg.playout = PlayoutConfig::default();
+    let client = b.add_client(access, ccfg);
+    let mut sim = b.build(p.seed);
+    let mut rng = SimRng::seed_from_u64(p.seed.wrapping_mul(0x9E37_79B9));
+    let lessons = install_course(
+        sim.app_mut().server_mut(server),
+        "Workload",
+        &["experiment"],
+        1,
+        1,
+        standard_lesson(p.clip_secs),
+        &mut rng,
+    );
+    sim.with_api(|w, api| {
+        w.client_mut(client).connect(api, server, Some(lessons[0]));
+    });
+    let mut trace = Vec::new();
+    for t in 1..=40 {
+        sim.run_until(MediaTime::from_secs(t));
+        let srv = sim.app().server(server);
+        if let Some((_, sess)) = srv.sessions.iter().next() {
+            let mut row = TraceRow {
+                t,
+                audio_level: 0,
+                video_level: 0,
+                video_kbps: 0,
+                stopped: false,
+            };
+            for (c, tx) in &sess.streams {
+                match tx.plan.kind {
+                    MediaKind::Audio => {
+                        row.audio_level = sess.qos.level_of(*c).map(|l| l.0).unwrap_or(0)
+                    }
+                    MediaKind::Video => {
+                        row.video_level = sess.qos.level_of(*c).map(|l| l.0).unwrap_or(0);
+                        if let Some(ms) = sess.qos.stream(*c) {
+                            row.video_kbps = ms.converter.current_bandwidth_bps() / 1000;
+                            row.stopped = ms.converter.stopped;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            trace.push(row);
+        }
+    }
+    sim.run_until(p.horizon);
+    // Extract final metrics via the shared harness shape.
+    let c = sim.app().client(client);
+    let mut m = hermes_bench::StreamingMetrics::default();
+    m.completed = !c.completed.is_empty();
+    if let Some((_, startup, skew)) = c.completed.first() {
+        m.startup = *startup;
+        m.max_skew = *skew;
+    }
+    if let Some(pres) = &c.presentation {
+        let stats = pres.engine.total_stats();
+        m.frames_played = stats.frames_played;
+        m.duplicates = stats.duplicates_played;
+        m.glitches = stats.glitches;
+        m.dropped = stats.frames_dropped;
+        m.max_skew = m.max_skew.max(pres.engine.max_skew_observed);
+    }
+    let srv = sim.app().server(server);
+    for sess in srv.sessions.values() {
+        m.degrades += sess.qos.degrades_issued;
+        m.upgrades += sess.qos.upgrades_issued;
+        m.stops += sess.qos.stops_issued;
+    }
+    let net = sim.net().total_stats();
+    m.net_dropped = net.packets_lost + net.packets_dropped_queue;
+    (trace, m)
+}
+
+fn main() {
+    println!(
+        "workload: 30 s A/V clip on 4 Mbps; congestion epoch t=10..22 s at 55% load\n\
+         (effective capacity 1.8 Mbps < the 2.25 Mbps nominal aggregate)"
+    );
+    let (trace, with) = run_traced(true, GradingOrder::VideoFirst, 77);
+    let mut t = Table::new(vec![
+        "t (s)",
+        "audio level",
+        "video level",
+        "video kbps",
+        "note",
+    ]);
+    let mut last = (0u8, 0u8);
+    for r in &trace {
+        let changed = (r.audio_level, r.video_level) != last;
+        let epoch = (10..22).contains(&r.t);
+        let note = match (epoch, changed, r.stopped) {
+            (_, _, true) => "video stopped (floor reached)",
+            (true, true, _) => "degrading (video first)",
+            (false, true, _) => "upgrading (network recovered)",
+            (true, false, _) => "congestion epoch",
+            _ => "",
+        };
+        if changed || r.t % 5 == 0 {
+            t.row(vec![
+                r.t.to_string(),
+                r.audio_level.to_string(),
+                r.video_level.to_string(),
+                r.video_kbps.to_string(),
+                note.to_string(),
+            ]);
+        }
+        last = (r.audio_level, r.video_level);
+    }
+    print_table("EXP-GRADE — quality-level trace with grading ON", &t);
+
+    let (_, without) = run_traced(false, GradingOrder::VideoFirst, 77);
+    let mut t = Table::new(vec![
+        "grading",
+        "degrades",
+        "upgrades",
+        "stops",
+        "max skew (ms)",
+        "disruptions",
+        "net drops",
+        "frames",
+    ]);
+    for (label, m) in [("on", &with), ("off", &without)] {
+        t.row(vec![
+            label.to_string(),
+            m.degrades.to_string(),
+            m.upgrades.to_string(),
+            m.stops.to_string(),
+            format!("{:.0}", m.max_skew.as_millis()),
+            (m.duplicates + m.glitches + m.dropped).to_string(),
+            m.net_dropped.to_string(),
+            m.frames_played.to_string(),
+        ]);
+    }
+    print_table("EXP-GRADE — grading on vs off over the same epoch", &t);
+    println!(
+        "expected shape: with grading ON, video degrades (audio untouched or later),\n\
+         the flow fits the congested link, and quality climbs back after t=22 s;\n\
+         OFF, the nominal-rate flow overloads the link for the whole epoch —\n\
+         more network drops and more presentation disruptions."
+    );
+    assert!(with.degrades > 0 && with.upgrades > 0);
+    assert_eq!(without.degrades, 0);
+    assert!(without.net_dropped > with.net_dropped);
+}

@@ -1,0 +1,48 @@
+//! TAB1 — regenerate paper Table 1 ("Description of basic keywords") from
+//! the live keyword registry, and verify every registry entry is covered.
+
+use hermes_bench::{print_table, Table};
+use hermes_hml::keywords::{keyword_table, AttrKeyword, TagKeyword};
+
+fn main() {
+    let mut t = Table::new(vec!["Keyword", "Description"]);
+    for row in keyword_table() {
+        t.row(vec![row.keyword.clone(), row.description.to_string()]);
+    }
+    print_table(
+        "Table 1 — basic keywords of the markup language (live registry)",
+        &t,
+    );
+
+    // Cross-check: every tag/attr keyword the parser accepts appears in the
+    // table (the implementation extensions are listed at the bottom).
+    let cells: Vec<String> = keyword_table()
+        .iter()
+        .flat_map(|r| {
+            r.keyword
+                .split(", ")
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let mut missing = Vec::new();
+    for k in TagKeyword::ALL {
+        if !cells.iter().any(|c| c == k.spelling()) {
+            missing.push(k.spelling().to_string());
+        }
+    }
+    for k in AttrKeyword::ALL {
+        if k == AttrKeyword::EncodingAttr || k == AttrKeyword::Sync {
+            continue; // implementation extensions, not paper keywords
+        }
+        if !cells.iter().any(|c| c == k.spelling()) {
+            missing.push(k.spelling().to_string());
+        }
+    }
+    if missing.is_empty() {
+        println!("coverage: every parser keyword appears in the table ✓");
+    } else {
+        println!("coverage: MISSING {missing:?}");
+        std::process::exit(1);
+    }
+}

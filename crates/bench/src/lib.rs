@@ -1,0 +1,17 @@
+//! # hermes-bench
+//!
+//! The experiment harness: shared world builders, metric extraction, table
+//! printing and parallel parameter sweeps used by the `exp_*` binaries (one
+//! per paper figure/table/claim — see DESIGN.md's reproduction index) and by
+//! the criterion benches.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod tables;
+
+pub use harness::{
+    max_dur_of, mean_of, run_seeds, run_streaming_session, standard_lesson, StreamingMetrics,
+    StreamingParams,
+};
+pub use tables::{fmt_dur_ms, print_table, Table};

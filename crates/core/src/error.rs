@@ -1,0 +1,87 @@
+//! Error types shared across the service crates.
+
+use crate::ids::{ComponentId, DocumentId, ServerId, SessionId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Top-level service error.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServiceError {
+    /// The requested document does not exist on the contacted server.
+    DocumentNotFound(DocumentId),
+    /// The referenced server does not exist in the topology.
+    ServerNotFound(ServerId),
+    /// A media component referenced by a scenario could not be located.
+    MediaNotFound(ComponentId),
+    /// Authentication failed or the user is not subscribed.
+    NotAuthorized,
+    /// The admission controller rejected the connection.
+    AdmissionRejected {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The session id is unknown or already closed.
+    NoSuchSession(SessionId),
+    /// An operation was attempted in a state where it is not allowed
+    /// (violates the Fig. 4 application state machine).
+    InvalidStateTransition {
+        /// State the session was in.
+        state: String,
+        /// Operation that was attempted.
+        operation: String,
+    },
+    /// A scenario failed validation.
+    MalformedScenario(String),
+    /// Markup parse failure.
+    ParseError(String),
+    /// Transport-level failure (connection reset, node down).
+    Transport(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::DocumentNotFound(d) => write!(f, "document not found: {d}"),
+            ServiceError::ServerNotFound(s) => write!(f, "server not found: {s}"),
+            ServiceError::MediaNotFound(c) => write!(f, "media component not found: {c}"),
+            ServiceError::NotAuthorized => write!(f, "not authorized"),
+            ServiceError::AdmissionRejected { reason } => {
+                write!(f, "admission rejected: {reason}")
+            }
+            ServiceError::NoSuchSession(s) => write!(f, "no such session: {s}"),
+            ServiceError::InvalidStateTransition { state, operation } => {
+                write!(f, "operation '{operation}' invalid in state '{state}'")
+            }
+            ServiceError::MalformedScenario(m) => write!(f, "malformed scenario: {m}"),
+            ServiceError::ParseError(m) => write!(f, "parse error: {m}"),
+            ServiceError::Transport(m) => write!(f, "transport error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Convenient result alias.
+pub type ServiceResult<T> = Result<T, ServiceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let e = ServiceError::DocumentNotFound(DocumentId::new(4));
+        assert_eq!(e.to_string(), "document not found: doc-4");
+        let e = ServiceError::InvalidStateTransition {
+            state: "Viewing".into(),
+            operation: "subscribe".into(),
+        };
+        assert!(e.to_string().contains("Viewing"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ServiceError::NotAuthorized);
+    }
+}

@@ -1,0 +1,153 @@
+//! Identifier newtypes used across the service.
+//!
+//! The paper stresses that "each component of a hypermedia object has a
+//! unique identification number" (`ID` keyword) because the client must
+//! demultiplex media streams arriving in parallel from several media servers.
+//! Strongly-typed ids keep those namespaces from being confused.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Construct from a raw integer.
+            pub const fn new(v: u64) -> Self {
+                $name(v)
+            }
+            /// Raw integer value.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies one media component within a hypermedia document
+    /// (the markup language's `ID` attribute).
+    ComponentId,
+    "cmp-"
+);
+id_type!(
+    /// Identifies one media stream / network flow carrying a component.
+    StreamId,
+    "str-"
+);
+id_type!(
+    /// Identifies a hypermedia document (a lesson, in Hermes terms).
+    DocumentId,
+    "doc-"
+);
+id_type!(
+    /// Identifies a multimedia (Hermes) server in the topology.
+    ServerId,
+    "srv-"
+);
+id_type!(
+    /// Identifies a media server attached to a multimedia server.
+    MediaServerId,
+    "med-"
+);
+id_type!(
+    /// Identifies a client/browser connection session.
+    SessionId,
+    "ses-"
+);
+id_type!(
+    /// Identifies a subscribed user.
+    UserId,
+    "usr-"
+);
+id_type!(
+    /// Identifies a network node in the simulator.
+    NodeId,
+    "node-"
+);
+id_type!(
+    /// Identifies a network connection (transport flow) in the simulator.
+    ConnectionId,
+    "conn-"
+);
+
+/// A monotonically increasing id allocator, one per id namespace.
+#[derive(Debug, Default, Clone)]
+pub struct IdAllocator {
+    next: u64,
+}
+
+impl IdAllocator {
+    /// Allocator whose first issued id is 0.
+    pub fn new() -> Self {
+        IdAllocator { next: 0 }
+    }
+    /// Allocator whose first issued id is `start`.
+    pub fn starting_at(start: u64) -> Self {
+        IdAllocator { next: start }
+    }
+    /// Issue the next raw id value.
+    pub fn next_raw(&mut self) -> u64 {
+        let v = self.next;
+        self.next += 1;
+        v
+    }
+    /// Issue the next id, converted into any id newtype.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next<T: From<u64>>(&mut self) -> T {
+        T::from(self.next_raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(ComponentId::new(7).to_string(), "cmp-7");
+        assert_eq!(ServerId::new(0).to_string(), "srv-0");
+        assert_eq!(SessionId::new(42).to_string(), "ses-42");
+    }
+
+    #[test]
+    fn id_types_are_distinct() {
+        // This is a compile-time property; here we just confirm values round-trip.
+        let c = ComponentId::from(3u64);
+        assert_eq!(c.raw(), 3);
+    }
+
+    #[test]
+    fn allocator_is_monotonic() {
+        let mut a = IdAllocator::new();
+        let x: StreamId = a.next();
+        let y: StreamId = a.next();
+        let z: StreamId = a.next();
+        assert_eq!((x.raw(), y.raw(), z.raw()), (0, 1, 2));
+    }
+
+    #[test]
+    fn allocator_starting_at() {
+        let mut a = IdAllocator::starting_at(100);
+        let x: DocumentId = a.next();
+        assert_eq!(x.raw(), 100);
+    }
+}

@@ -1,0 +1,289 @@
+//! Serializer: render a document AST back to markup text.
+//!
+//! The output re-parses to an equal AST (round-trip property, checked by
+//! proptest in `tests/roundtrip.rs`).
+
+use crate::ast::*;
+use crate::values::SourceRef;
+use hermes_core::{HeadingLevel, LinkKind, MediaDuration, MediaTime, Region, TextStyle};
+use std::fmt::Write;
+
+fn fmt_time(t: MediaTime) -> String {
+    fmt_dur(t - MediaTime::ZERO)
+}
+
+fn fmt_dur(d: MediaDuration) -> String {
+    let us = d.as_micros();
+    if us % 1_000_000 == 0 {
+        format!("{}s", us / 1_000_000)
+    } else if us % 1_000 == 0 {
+        format!("{}ms", us / 1_000)
+    } else {
+        format!("{us}us")
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn fmt_source(s: &SourceRef) -> String {
+    match s {
+        SourceRef::Absolute(m) => format!("srv{}:{}", m.server.raw(), m.object),
+        SourceRef::Relative(o) => o.clone(),
+    }
+}
+
+fn push_timing(out: &mut String, t: &Timing) {
+    if let Some(s) = t.start {
+        write!(out, " STARTIME={}", fmt_time(s)).unwrap();
+    }
+    if let Some(d) = t.duration {
+        write!(out, " DURATION={}", fmt_dur(d)).unwrap();
+    }
+}
+
+fn push_region(out: &mut String, r: &Option<Region>) {
+    if let Some(r) = r {
+        write!(out, " WHERE={},{}", r.x, r.y).unwrap();
+        if r.width > 0 {
+            write!(out, " WIDTH={}", r.width).unwrap();
+        }
+        if r.height > 0 {
+            write!(out, " HEIGHT={}", r.height).unwrap();
+        }
+    }
+}
+
+fn push_note(out: &mut String, n: &Option<String>) {
+    if let Some(n) = n {
+        write!(out, " NOTE={}", quote(n)).unwrap();
+    }
+}
+
+fn push_encoding(out: &mut String, e: &Option<String>) {
+    if let Some(e) = e {
+        write!(out, " ENCODING={e}").unwrap();
+    }
+}
+
+fn serialize_runs(out: &mut String, runs: &[AstTextRun]) {
+    // Emit runs with minimal style spans: open/close tags whenever the style
+    // changes between consecutive runs.
+    let mut cur = TextStyle::PLAIN;
+    let close_all = |out: &mut String, s: TextStyle| {
+        // close in reverse nesting order U, I, B
+        if s.underline {
+            out.push_str(" </U>");
+        }
+        if s.italic {
+            out.push_str(" </I>");
+        }
+        if s.bold {
+            out.push_str(" </B>");
+        }
+    };
+    for r in runs {
+        if r.style != cur {
+            close_all(out, cur);
+            if r.style.bold {
+                out.push_str(" <B>");
+            }
+            if r.style.italic {
+                out.push_str(" <I>");
+            }
+            if r.style.underline {
+                out.push_str(" <U>");
+            }
+            cur = r.style;
+        }
+        out.push(' ');
+        out.push_str(&r.text);
+    }
+    close_all(out, cur);
+}
+
+/// Serialize an AST to markup text.
+pub fn serialize(doc: &HmlDocument) -> String {
+    let mut out = String::new();
+    writeln!(out, "<TITLE> {} </TITLE>", doc.title).unwrap();
+    for s in &doc.sentences {
+        for h in &s.headings {
+            let tag = match h.level {
+                HeadingLevel::H1 => "H1",
+                HeadingLevel::H2 => "H2",
+                HeadingLevel::H3 => "H3",
+            };
+            writeln!(out, "<{tag}> {} </{tag}>", h.text).unwrap();
+        }
+        for item in &s.body {
+            match item {
+                BodyItem::Paragraph => out.push_str("<PAR>\n"),
+                BodyItem::Text(t) => {
+                    out.push_str("<TEXT>");
+                    push_timing(&mut out, &t.timing);
+                    if let Some(id) = t.id {
+                        write!(out, " ID={id}").unwrap();
+                    }
+                    serialize_runs(&mut out, &t.runs);
+                    out.push_str(" </TEXT>\n");
+                }
+                BodyItem::Image(img) => {
+                    out.push_str("<IMG>");
+                    write!(out, " SOURCE={}", fmt_source(&img.source)).unwrap();
+                    push_timing(&mut out, &img.timing);
+                    push_region(&mut out, &img.region);
+                    if let Some(id) = img.id {
+                        write!(out, " ID={id}").unwrap();
+                    }
+                    push_encoding(&mut out, &img.encoding);
+                    push_note(&mut out, &img.note);
+                    out.push_str(" </IMG>\n");
+                }
+                BodyItem::Audio(au) => {
+                    out.push_str("<AU>");
+                    write!(out, " SOURCE={}", fmt_source(&au.source)).unwrap();
+                    push_timing(&mut out, &au.timing);
+                    if let Some(id) = au.id {
+                        write!(out, " ID={id}").unwrap();
+                    }
+                    push_encoding(&mut out, &au.encoding);
+                    if let Some(sync) = &au.sync {
+                        write!(out, " SYNC={sync}").unwrap();
+                    }
+                    push_note(&mut out, &au.note);
+                    out.push_str(" </AU>\n");
+                }
+                BodyItem::Video(vi) => {
+                    out.push_str("<VI>");
+                    write!(out, " SOURCE={}", fmt_source(&vi.source)).unwrap();
+                    push_timing(&mut out, &vi.timing);
+                    push_region(&mut out, &vi.region);
+                    if let Some(id) = vi.id {
+                        write!(out, " ID={id}").unwrap();
+                    }
+                    push_encoding(&mut out, &vi.encoding);
+                    if let Some(sync) = &vi.sync {
+                        write!(out, " SYNC={sync}").unwrap();
+                    }
+                    push_note(&mut out, &vi.note);
+                    out.push_str(" </VI>\n");
+                }
+                BodyItem::AudioVideo(av) => {
+                    out.push_str("<AU_VI>");
+                    if let Some(s) = av.audio.timing.start {
+                        write!(out, " STARTIME={}", fmt_time(s)).unwrap();
+                    }
+                    if let Some(d) = av.audio.timing.duration {
+                        write!(out, " DURATION={}", fmt_dur(d)).unwrap();
+                    }
+                    write!(out, " SOURCE={}", fmt_source(&av.audio.source)).unwrap();
+                    write!(out, " SOURCE={}", fmt_source(&av.video.source)).unwrap();
+                    if let Some(id) = av.audio.id {
+                        write!(out, " ID={id}").unwrap();
+                    }
+                    if let Some(id) = av.video.id {
+                        write!(out, " ID={id}").unwrap();
+                    }
+                    if let Some(e) = &av.audio.encoding {
+                        write!(out, " ENCODING={e}").unwrap();
+                    }
+                    if let Some(e) = &av.video.encoding {
+                        write!(out, " ENCODING={e}").unwrap();
+                    }
+                    push_note(&mut out, &av.note);
+                    out.push_str(" </AU_VI>\n");
+                }
+                BodyItem::Link(l) => {
+                    out.push_str("<HLINK>");
+                    if let Some(at) = l.at {
+                        write!(out, " AT={}", fmt_time(at)).unwrap();
+                    }
+                    write!(out, " TO=doc{}", l.to.raw()).unwrap();
+                    if let Some(h) = l.host {
+                        write!(out, " HOST=srv{}", h.raw()).unwrap();
+                    }
+                    let kind = match l.kind {
+                        LinkKind::Sequential => "SEQ",
+                        LinkKind::Explorational => "EXP",
+                    };
+                    write!(out, " KIND={kind}").unwrap();
+                    push_note(&mut out, &l.note);
+                    out.push_str(" </HLINK>\n");
+                }
+            }
+        }
+        if s.separator {
+            out.push_str("<SEP>\n");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn round_trip(src: &str) {
+        let doc1 = parse(src).expect("first parse");
+        let text = serialize(&doc1);
+        let doc2 = parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+        assert_eq!(doc1, doc2, "round trip mismatch\n---\n{text}");
+    }
+
+    #[test]
+    fn round_trip_simple() {
+        round_trip("<TITLE> t </TITLE> <H1> h </H1> <TEXT> hello world </TEXT> <PAR> <SEP>");
+    }
+
+    #[test]
+    fn round_trip_media() {
+        round_trip(
+            r#"<TITLE>t</TITLE>
+<IMG> SOURCE=srv0:a.jpg STARTIME=0s DURATION=5s WHERE=10,20 WIDTH=320 HEIGHT=200 ID=1 NOTE="n" </IMG>
+<AU> SOURCE=a.pcm STARTIME=1500ms DURATION=2s ID=2 ENCODING=pcm </AU>
+<VI> SOURCE=v.mpg STARTIME=2s ID=3 </VI>
+<AU_VI> STARTIME=6s DURATION=8s SOURCE=a SOURCE=v ID=4 ID=5 </AU_VI>
+<HLINK> AT=19s TO=doc2 KIND=SEQ NOTE="next" </HLINK>"#,
+        );
+    }
+
+    #[test]
+    fn round_trip_styles() {
+        round_trip("<TITLE>t</TITLE> <TEXT> a <B> b <I> c </I> </B> <U> d </U> </TEXT>");
+    }
+
+    #[test]
+    fn round_trip_quoted_note() {
+        round_trip(r#"<TITLE>t</TITLE> <IMG> SOURCE=x NOTE="has \"quotes\" and \\ slash" </IMG>"#);
+    }
+
+    #[test]
+    fn round_trip_sync_labels() {
+        round_trip(
+            "<TITLE>t</TITLE>
+             <AU> SOURCE=a.pcm STARTIME=0s DURATION=5s ID=1 SYNC=scene </AU>
+             <VI> SOURCE=v.mpg STARTIME=0s DURATION=5s ID=2 SYNC=scene </VI>",
+        );
+    }
+
+    #[test]
+    fn serializes_sub_second_times() {
+        let doc = parse("<TITLE>t</TITLE> <AU> SOURCE=a STARTIME=1250ms </AU>").unwrap();
+        let text = serialize(&doc);
+        assert!(text.contains("STARTIME=1250ms"), "{text}");
+        round_trip(&text);
+    }
+}

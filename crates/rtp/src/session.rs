@@ -1,0 +1,407 @@
+//! RTP sessions: sender-side packetization of media frames and
+//! receiver-side frame reassembly with reception statistics.
+//!
+//! Each media stream of a presentation gets its own RTP session over its own
+//! parallel connection, as in the paper's architecture ("each media server
+//! ... is responsible for transmitting a certain media type through a
+//! parallel connection which is established between the browser and the
+//! corresponding media server", §6.1).
+
+use crate::packet::{micros_to_clock, PayloadType, RtpPacket, RTP_HEADER_LEN, UDP_IP_OVERHEAD};
+use crate::rtcp::{ReportBlock, RtcpPacket};
+use crate::stats::ReceiverStats;
+use hermes_core::{Encoding, MediaTime};
+use hermes_media::MediaFrame;
+use std::collections::BTreeMap;
+
+/// Map an encoding to its RTP payload type.
+pub fn payload_type_for(encoding: Encoding) -> PayloadType {
+    match encoding {
+        Encoding::Pcm => PayloadType::Pcm,
+        Encoding::Adpcm => PayloadType::Adpcm,
+        Encoding::Vadpcm => PayloadType::Vadpcm,
+        Encoding::Mpeg => PayloadType::Mpeg,
+        Encoding::Avi => PayloadType::Avi,
+        _ => PayloadType::Document,
+    }
+}
+
+/// Default MTU-limited payload size per RTP packet.
+pub const DEFAULT_MAX_PAYLOAD: usize = 1400;
+
+/// Sender half of an RTP session for one media stream.
+#[derive(Debug, Clone)]
+pub struct RtpSender {
+    /// This stream's SSRC.
+    pub ssrc: u32,
+    payload_type: PayloadType,
+    next_seq: u16,
+    max_payload: usize,
+    /// Packets sent.
+    pub packet_count: u32,
+    /// Payload octets sent.
+    pub octet_count: u32,
+}
+
+impl RtpSender {
+    /// Create a sender for a stream of the given encoding.
+    pub fn new(ssrc: u32, encoding: Encoding) -> Self {
+        RtpSender {
+            ssrc,
+            payload_type: payload_type_for(encoding),
+            next_seq: (ssrc & 0xFFFF) as u16, // quasi-random initial seq
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            packet_count: 0,
+            octet_count: 0,
+        }
+    }
+
+    /// Override the per-packet payload budget (tests).
+    pub fn with_max_payload(mut self, max_payload: usize) -> Self {
+        assert!(max_payload > 0);
+        self.max_payload = max_payload;
+        self
+    }
+
+    /// The payload type in use.
+    pub fn payload_type(&self) -> PayloadType {
+        self.payload_type
+    }
+
+    /// Packetize one media frame into RTP packets. The frame's `pts` (stream
+    /// relative) becomes the RTP timestamp; the marker bit is set on the
+    /// final fragment of the frame.
+    pub fn packetize(&mut self, frame: &MediaFrame) -> Vec<RtpPacket> {
+        let ts = micros_to_clock(frame.pts.as_micros(), self.payload_type.clock_rate());
+        let mut remaining = frame.size as usize;
+        let mut out = Vec::new();
+        loop {
+            let chunk = remaining.min(self.max_payload);
+            remaining -= chunk;
+            let marker = remaining == 0;
+            out.push(RtpPacket::synthetic(
+                self.payload_type,
+                marker,
+                self.next_seq,
+                ts,
+                self.ssrc,
+                chunk,
+            ));
+            self.next_seq = self.next_seq.wrapping_add(1);
+            self.packet_count += 1;
+            self.octet_count = self.octet_count.wrapping_add(chunk as u32);
+            if marker {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Produce a sender report at local time `now`.
+    pub fn sender_report(&self, now: MediaTime) -> RtcpPacket {
+        RtcpPacket::SenderReport {
+            ssrc: self.ssrc,
+            ntp_timestamp: now.as_micros() as u64,
+            rtp_timestamp: micros_to_clock(now.as_micros(), self.payload_type.clock_rate()),
+            packet_count: self.packet_count,
+            octet_count: self.octet_count,
+            reports: Vec::new(),
+        }
+    }
+}
+
+/// A frame reassembled by the receiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReceivedFrame {
+    /// RTP timestamp (clock units) identifying the frame.
+    pub timestamp: u32,
+    /// Media time of the frame within the stream.
+    pub pts: MediaTime,
+    /// Total payload bytes reassembled.
+    pub size: u32,
+    /// Local arrival time of the frame's last fragment.
+    pub arrival: MediaTime,
+    /// True if some fragments were missing (delivered incomplete).
+    pub incomplete: bool,
+}
+
+/// Receiver half of an RTP session for one media stream.
+#[derive(Debug)]
+pub struct RtpReceiver {
+    /// Peer SSRC (locked to the first packet's SSRC).
+    pub ssrc: Option<u32>,
+    clock_rate: u32,
+    /// Reception statistics for RTCP reporting.
+    pub stats: ReceiverStats,
+    /// Partial frames keyed by RTP timestamp.
+    partial: BTreeMap<u32, (u32, MediaTime, bool)>, // (bytes, last_arrival, saw_marker)
+    /// Completed frames ready for the buffer layer.
+    ready: Vec<ReceivedFrame>,
+    /// Timestamp of the last SR received (for LSR/DLSR).
+    last_sr: Option<(u64, MediaTime)>,
+}
+
+impl RtpReceiver {
+    /// Create a receiver expecting the given encoding.
+    pub fn new(encoding: Encoding) -> Self {
+        let clock_rate = payload_type_for(encoding).clock_rate();
+        RtpReceiver {
+            ssrc: None,
+            clock_rate,
+            stats: ReceiverStats::new(clock_rate),
+            partial: BTreeMap::new(),
+            ready: Vec::new(),
+            last_sr: None,
+        }
+    }
+
+    /// Ingest one RTP packet arriving at local time `arrival`.
+    pub fn on_packet(&mut self, pkt: &RtpPacket, arrival: MediaTime) {
+        if self.ssrc.is_none() {
+            self.ssrc = Some(pkt.ssrc);
+        } else if self.ssrc != Some(pkt.ssrc) {
+            return; // foreign SSRC — not our stream
+        }
+        self.stats.on_packet(pkt, arrival);
+        let entry = self
+            .partial
+            .entry(pkt.timestamp)
+            .or_insert((0, arrival, false));
+        entry.0 += pkt.payload.len() as u32;
+        entry.1 = entry.1.max(arrival);
+        entry.2 |= pkt.marker;
+        if pkt.marker {
+            // Frame complete (fragments of one frame arrive in order on our
+            // simulated links; a lost fragment means the marker may carry a
+            // short frame — flagged incomplete by the caller via size checks).
+            let (size, last_arrival, _) = self.partial.remove(&pkt.timestamp).unwrap();
+            self.ready.push(ReceivedFrame {
+                timestamp: pkt.timestamp,
+                pts: MediaTime::from_micros(crate::packet::clock_to_micros(
+                    pkt.timestamp,
+                    self.clock_rate,
+                )),
+                size,
+                arrival: last_arrival,
+                incomplete: false,
+            });
+        }
+    }
+
+    /// Record a sender report (for LSR/DLSR bookkeeping).
+    pub fn on_sender_report(&mut self, ntp_timestamp: u64, arrival: MediaTime) {
+        self.last_sr = Some((ntp_timestamp, arrival));
+    }
+
+    /// Drain frames completed since the last call.
+    pub fn take_frames(&mut self) -> Vec<ReceivedFrame> {
+        std::mem::take(&mut self.ready)
+    }
+
+    /// Expire partial frames whose timestamp is older than `horizon_us`
+    /// behind the newest — their missing fragments were lost. Returns how
+    /// many frames were abandoned.
+    pub fn expire_partials(&mut self, newest_ts: u32, horizon_clock: u32) -> usize {
+        let cutoff = newest_ts.wrapping_sub(horizon_clock);
+        // BTreeMap over raw u32 — correct as long as the session doesn't
+        // wrap mid-expiry window; sessions in this system are minutes long.
+        let stale: Vec<u32> = self
+            .partial
+            .keys()
+            .copied()
+            .filter(|&ts| ts < cutoff)
+            .collect();
+        for ts in &stale {
+            self.partial.remove(ts);
+        }
+        stale.len()
+    }
+
+    /// Build a receiver report at local time `now`.
+    pub fn receiver_report(&mut self, reporter_ssrc: u32, now: MediaTime) -> RtcpPacket {
+        let fraction = self.stats.take_interval_loss();
+        let (lsr, dlsr) = match self.last_sr {
+            Some((ntp, at)) => {
+                let mid = ((ntp >> 16) & 0xFFFF_FFFF) as u32;
+                let delay = ((now - at).as_micros().max(0) as u128 * 65_536 / 1_000_000) as u32;
+                (mid, delay)
+            }
+            None => (0, 0),
+        };
+        RtcpPacket::ReceiverReport {
+            ssrc: reporter_ssrc,
+            reports: vec![ReportBlock {
+                ssrc: self.ssrc.unwrap_or(0),
+                fraction_lost: ReportBlock::fraction_from_f64(fraction),
+                cumulative_lost: self.stats.cumulative_lost().min(u32::MAX as u64) as u32,
+                ext_highest_seq: self.stats.extended_highest_seq(),
+                jitter: micros_to_clock(self.stats.jitter().as_micros(), self.clock_rate),
+                lsr,
+                dlsr,
+            }],
+        }
+    }
+}
+
+/// On-wire bytes for a frame of `size` payload bytes split at `max_payload`:
+/// used by the flow scheduler to budget bandwidth including header overhead.
+pub fn wire_bytes_for_frame(size: u32, max_payload: usize) -> u64 {
+    let fragments = (size as usize).div_ceil(max_payload).max(1);
+    size as u64 + (fragments * (RTP_HEADER_LEN + UDP_IP_OVERHEAD)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_core::{ComponentId, GradeLevel};
+
+    fn frame(seq: u64, pts_ms: i64, size: u32) -> MediaFrame {
+        MediaFrame {
+            component: ComponentId::new(1),
+            seq,
+            pts: MediaTime::from_millis(pts_ms),
+            size,
+            key: true,
+            level: GradeLevel::NOMINAL,
+            last: false,
+        }
+    }
+
+    #[test]
+    fn small_frame_single_packet_with_marker() {
+        let mut tx = RtpSender::new(7, Encoding::Pcm);
+        let pkts = tx.packetize(&frame(0, 0, 882));
+        assert_eq!(pkts.len(), 1);
+        assert!(pkts[0].marker);
+        assert_eq!(pkts[0].payload.len(), 882);
+    }
+
+    #[test]
+    fn large_frame_fragments_and_reassembles() {
+        let mut tx = RtpSender::new(7, Encoding::Mpeg);
+        let mut rx = RtpReceiver::new(Encoding::Mpeg);
+        let f = frame(0, 40, 7_500);
+        let pkts = tx.packetize(&f);
+        assert_eq!(pkts.len(), 6); // ceil(7500/1400)
+        assert!(pkts.last().unwrap().marker);
+        assert!(pkts[..5].iter().all(|p| !p.marker));
+        for (i, p) in pkts.iter().enumerate() {
+            rx.on_packet(p, MediaTime::from_millis(50 + i as i64));
+        }
+        let frames = rx.take_frames();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].size, 7_500);
+        assert_eq!(frames[0].pts, MediaTime::from_millis(40));
+        assert_eq!(frames[0].arrival, MediaTime::from_millis(55));
+    }
+
+    #[test]
+    fn sequence_numbers_contiguous_across_frames() {
+        let mut tx = RtpSender::new(1, Encoding::Mpeg);
+        let p1 = tx.packetize(&frame(0, 0, 3_000));
+        let p2 = tx.packetize(&frame(1, 40, 3_000));
+        let first = p1[0].seq;
+        let all: Vec<u16> = p1.iter().chain(p2.iter()).map(|p| p.seq).collect();
+        let expect: Vec<u16> = (0..all.len() as u16)
+            .map(|i| first.wrapping_add(i))
+            .collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn foreign_ssrc_ignored() {
+        let mut tx_a = RtpSender::new(1, Encoding::Pcm);
+        let mut tx_b = RtpSender::new(2, Encoding::Pcm);
+        let mut rx = RtpReceiver::new(Encoding::Pcm);
+        for p in tx_a.packetize(&frame(0, 0, 100)) {
+            rx.on_packet(&p, MediaTime::from_millis(1));
+        }
+        for p in tx_b.packetize(&frame(0, 0, 100)) {
+            rx.on_packet(&p, MediaTime::from_millis(2));
+        }
+        assert_eq!(rx.take_frames().len(), 1);
+        assert_eq!(rx.ssrc, Some(1));
+    }
+
+    #[test]
+    fn receiver_report_reflects_loss() {
+        let mut tx = RtpSender::new(9, Encoding::Mpeg);
+        let mut rx = RtpReceiver::new(Encoding::Mpeg);
+        // 10 single-packet frames; drop every other packet.
+        for i in 0..10 {
+            let pkts = tx.packetize(&frame(i, i as i64 * 40, 1_000));
+            if i % 2 == 0 {
+                rx.on_packet(&pkts[0], MediaTime::from_millis(i as i64 * 40 + 10));
+            }
+        }
+        let rr = rx.receiver_report(100, MediaTime::from_millis(500));
+        match rr {
+            RtcpPacket::ReceiverReport { ssrc, reports } => {
+                assert_eq!(ssrc, 100);
+                let b = reports[0];
+                assert_eq!(b.ssrc, 9);
+                // 9 expected (up to highest seq), 5 received → 4 lost.
+                assert_eq!(b.cumulative_lost, 4);
+                assert!(b.loss_fraction() > 0.3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sender_report_counts() {
+        let mut tx = RtpSender::new(3, Encoding::Pcm);
+        tx.packetize(&frame(0, 0, 882));
+        tx.packetize(&frame(1, 20, 882));
+        match tx.sender_report(MediaTime::from_secs(1)) {
+            RtcpPacket::SenderReport {
+                packet_count,
+                octet_count,
+                ..
+            } => {
+                assert_eq!(packet_count, 2);
+                assert_eq!(octet_count, 1764);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn lsr_dlsr_bookkeeping() {
+        let mut rx = RtpReceiver::new(Encoding::Pcm);
+        let mut tx = RtpSender::new(5, Encoding::Pcm);
+        for p in tx.packetize(&frame(0, 0, 100)) {
+            rx.on_packet(&p, MediaTime::from_millis(5));
+        }
+        rx.on_sender_report(0x0001_2345_6789_ABCD, MediaTime::from_secs(1));
+        let rr = rx.receiver_report(8, MediaTime::from_secs(2));
+        match rr {
+            RtcpPacket::ReceiverReport { reports, .. } => {
+                assert_eq!(reports[0].lsr, 0x2345_6789);
+                assert_eq!(reports[0].dlsr, 65_536); // exactly 1 s
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_expiry_abandons_stale_frames() {
+        let mut tx = RtpSender::new(4, Encoding::Mpeg).with_max_payload(500);
+        let mut rx = RtpReceiver::new(Encoding::Mpeg);
+        let pkts = tx.packetize(&frame(0, 0, 1_500)); // 3 fragments
+                                                      // Deliver only the first two (marker lost).
+        rx.on_packet(&pkts[0], MediaTime::from_millis(1));
+        rx.on_packet(&pkts[1], MediaTime::from_millis(2));
+        assert!(rx.take_frames().is_empty());
+        let newest = micros_to_clock(2_000_000, 90_000);
+        let abandoned = rx.expire_partials(newest, 90_000 / 2);
+        assert_eq!(abandoned, 1);
+    }
+
+    #[test]
+    fn wire_budget_counts_fragment_headers() {
+        assert_eq!(wire_bytes_for_frame(1400, 1400), 1400 + 40);
+        assert_eq!(wire_bytes_for_frame(1401, 1400), 1401 + 80);
+        assert_eq!(wire_bytes_for_frame(0, 1400), 40);
+    }
+}

@@ -1,0 +1,29 @@
+//! # hermes-server
+//!
+//! The multimedia-server side of the service (paper Fig. 3, left half):
+//!
+//! * [`database`] — the multimedia database (documents as markup +
+//!   scenario), topic lists, local search, and per-kind media stores (the
+//!   attached media servers' storage);
+//! * [`flow`] — the flow scheduler computing flow scenarios (send start
+//!   instants, rates, QoS requirements) from presentation scenarios;
+//! * [`qos`] — the Server QoS Manager and grading engine (long-term
+//!   recovery: video-first degradation, patient upgrades, stop-at-floor);
+//! * [`admission`] — connection admission control with pricing classes;
+//! * [`accounts`] — subscription, authentication and pricing primitives.
+
+#![warn(missing_docs)]
+
+pub mod accounts;
+pub mod admission;
+pub mod database;
+pub mod flow;
+pub mod qos;
+
+pub use accounts::{AccountsDb, Charge, SubscriptionForm, UserRecord};
+pub use admission::{
+    AdmissionController, AdmissionDecision, ClassStats, ConnectionRequest, PathCondition,
+};
+pub use database::{MultimediaDb, StoredDocument, TopicEntry};
+pub use flow::{compute_flow_scenario, FlowConfig, FlowPlan, FlowScenario};
+pub use qos::{GradingAction, ManagedStream, ServerQosManager};

@@ -1,0 +1,432 @@
+//! The Server QoS Manager and the media-grading engine — the paper's
+//! *long-term* synchronization recovery (§4).
+//!
+//! "Using such feedback reports, the service's server possesses knowledge of
+//! the overall network performance parameters, and accordingly takes
+//! corrective actions ... \[the\] flow scheduler identifies the specific media
+//! streams that are not transmitted as desired, and in cooperation with the
+//! corresponding Media Stream Quality Converter gracefully degrades
+//! (upgrades) the stream's quality ... the service first applies the grading
+//! technique to the video stream, since audio or voice is considered to be
+//! more important to users."
+
+use hermes_core::{
+    ComponentId, GradeDecision, GradeLevel, GradingHysteresis, GradingOrder, MediaKind,
+    QosMeasurement, QosRequirement,
+};
+use hermes_media::{CodecModel, QualityConverter};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One stream under grading management.
+#[derive(Debug)]
+pub struct ManagedStream {
+    /// The quality converter owned by the stream's media server.
+    pub converter: QualityConverter,
+    /// The stream's declared QoS requirement (congestion scores are
+    /// normalized against it).
+    pub requirement: QosRequirement,
+    /// Media kind (drives the degrade order).
+    pub kind: MediaKind,
+    /// Consecutive healthy reports seen (for upgrade patience).
+    healthy_streak: u32,
+    /// The latest congestion score.
+    pub last_score: f64,
+}
+
+/// An action the manager instructs a media server to take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GradingAction {
+    /// Which stream.
+    pub component: ComponentId,
+    /// What to do.
+    pub decision: GradeDecision,
+    /// The level after applying the decision.
+    pub new_level: GradeLevel,
+    /// Whether the stream is stopped after the decision.
+    pub stopped: bool,
+}
+
+/// The server-side QoS manager: ingests client feedback, ranks streams and
+/// walks their quality converters.
+#[derive(Debug)]
+pub struct ServerQosManager {
+    streams: BTreeMap<ComponentId, ManagedStream>,
+    /// Degrade ordering policy (video-first per the paper; ablations flip it).
+    pub order: GradingOrder,
+    /// Hysteresis thresholds.
+    pub hysteresis: GradingHysteresis,
+    /// Total degrade actions issued.
+    pub degrades_issued: u64,
+    /// Total upgrade actions issued.
+    pub upgrades_issued: u64,
+    /// Total stop actions issued.
+    pub stops_issued: u64,
+}
+
+impl ServerQosManager {
+    /// Manager with a policy and hysteresis.
+    pub fn new(order: GradingOrder, hysteresis: GradingHysteresis) -> Self {
+        assert!(hysteresis.is_valid(), "invalid hysteresis dead-band");
+        ServerQosManager {
+            streams: BTreeMap::new(),
+            order,
+            hysteresis,
+            degrades_issued: 0,
+            upgrades_issued: 0,
+            stops_issued: 0,
+        }
+    }
+
+    /// Paper-default manager: video first, default hysteresis.
+    pub fn paper_default() -> Self {
+        Self::new(GradingOrder::default(), GradingHysteresis::default())
+    }
+
+    /// Register a stream with its codec model, floor and requirement.
+    pub fn register(
+        &mut self,
+        component: ComponentId,
+        model: CodecModel,
+        floor: GradeLevel,
+        requirement: QosRequirement,
+    ) {
+        let kind = model.kind();
+        self.streams.insert(
+            component,
+            ManagedStream {
+                converter: QualityConverter::new(model, floor),
+                requirement,
+                kind,
+                healthy_streak: 0,
+                last_score: 0.0,
+            },
+        );
+    }
+
+    /// Remove a stream (presentation finished).
+    pub fn unregister(&mut self, component: ComponentId) {
+        self.streams.remove(&component);
+    }
+
+    /// The managed stream, if registered.
+    pub fn stream(&self, component: ComponentId) -> Option<&ManagedStream> {
+        self.streams.get(&component)
+    }
+
+    /// Current level of a stream.
+    pub fn level_of(&self, component: ComponentId) -> Option<GradeLevel> {
+        self.streams.get(&component).map(|s| s.converter.level)
+    }
+
+    /// Total bandwidth of all managed streams at their current levels.
+    pub fn total_bandwidth_bps(&self) -> u64 {
+        self.streams
+            .values()
+            .map(|s| s.converter.current_bandwidth_bps())
+            .sum()
+    }
+
+    /// Ingest one feedback report (a set of per-stream measurements taken by
+    /// the client QoS manager) and decide the grading actions. At most one
+    /// degrade and one upgrade action are issued per report — graceful,
+    /// stepwise adaptation.
+    pub fn on_feedback(&mut self, report: &[(ComponentId, QosMeasurement)]) -> Vec<GradingAction> {
+        let mut actions = Vec::new();
+        // Update scores and streaks.
+        for (id, m) in report {
+            if let Some(s) = self.streams.get_mut(id) {
+                s.last_score = m.congestion_score(&s.requirement);
+                if s.last_score < self.hysteresis.upgrade_below {
+                    s.healthy_streak += 1;
+                } else {
+                    s.healthy_streak = 0;
+                }
+            }
+        }
+        let any_congested = self
+            .streams
+            .values()
+            .any(|s| s.last_score > self.hysteresis.degrade_above);
+        if any_congested {
+            // Pick the degrade victim: lowest degrade-rank first (video
+            // before audio under the paper's rule), tie-broken by largest
+            // bandwidth saving, skipping streams that cannot yield any.
+            let order = self.order;
+            let victim = self
+                .streams
+                .iter()
+                .filter(|(_, s)| !s.converter.stopped && s.converter.next_step_saving() > 0)
+                .min_by(|(_, a), (_, b)| {
+                    let ra = order.degrade_rank(a.kind);
+                    let rb = order.degrade_rank(b.kind);
+                    ra.cmp(&rb).then(
+                        b.converter
+                            .next_step_saving()
+                            .cmp(&a.converter.next_step_saving()),
+                    )
+                })
+                .map(|(id, _)| *id);
+            if let Some(id) = victim {
+                let s = self.streams.get_mut(&id).unwrap();
+                let applied = s.converter.apply(GradeDecision::Degrade);
+                match applied {
+                    GradeDecision::Degrade => self.degrades_issued += 1,
+                    GradeDecision::Stop => self.stops_issued += 1,
+                    _ => {}
+                }
+                if applied != GradeDecision::Hold {
+                    actions.push(GradingAction {
+                        component: id,
+                        decision: applied,
+                        new_level: s.converter.level,
+                        stopped: s.converter.stopped,
+                    });
+                }
+            }
+        } else {
+            // Upgrade when every stream has been healthy long enough:
+            // restore in reverse degrade order (audio back first under the
+            // video-first rule), most-degraded first within a rank.
+            let all_patient = !self.streams.is_empty()
+                && self
+                    .streams
+                    .values()
+                    .all(|s| s.healthy_streak >= self.hysteresis.upgrade_patience);
+            if all_patient {
+                let order = self.order;
+                let candidate = self
+                    .streams
+                    .iter()
+                    .filter(|(_, s)| s.converter.stopped || s.converter.level > GradeLevel::NOMINAL)
+                    .max_by(|(_, a), (_, b)| {
+                        let ra = order.degrade_rank(a.kind);
+                        let rb = order.degrade_rank(b.kind);
+                        ra.cmp(&rb).then(a.converter.level.cmp(&b.converter.level))
+                    })
+                    .map(|(id, _)| *id);
+                if let Some(id) = candidate {
+                    let s = self.streams.get_mut(&id).unwrap();
+                    let applied = s.converter.apply(GradeDecision::Upgrade);
+                    if applied == GradeDecision::Upgrade {
+                        self.upgrades_issued += 1;
+                        s.healthy_streak = 0;
+                        actions.push(GradingAction {
+                            component: id,
+                            decision: applied,
+                            new_level: s.converter.level,
+                            stopped: s.converter.stopped,
+                        });
+                    }
+                }
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_core::{Encoding, MediaDuration, MediaTime};
+
+    fn measurement(score_delay_ms: i64) -> QosMeasurement {
+        QosMeasurement {
+            window_end: MediaTime::ZERO,
+            mean_delay: MediaDuration::from_millis(score_delay_ms),
+            jitter: MediaDuration::ZERO,
+            loss_fraction: 0.0,
+            packets_received: 100,
+            buffer_occupancy: 0.5,
+        }
+    }
+
+    /// Requirement with max_delay 100 ms → delay 150 ms = score 1.5.
+    fn req() -> QosRequirement {
+        QosRequirement::continuous(1_000_000, 100, 0.02)
+    }
+
+    fn manager_with_av() -> ServerQosManager {
+        let mut m = ServerQosManager::paper_default();
+        m.register(
+            ComponentId::new(1),
+            CodecModel::for_encoding(Encoding::Pcm),
+            GradeLevel(2),
+            req(),
+        );
+        m.register(
+            ComponentId::new(2),
+            CodecModel::for_encoding(Encoding::Mpeg),
+            GradeLevel(4),
+            req(),
+        );
+        m
+    }
+
+    #[test]
+    fn video_degraded_before_audio() {
+        let mut m = manager_with_av();
+        let congested = vec![
+            (ComponentId::new(1), measurement(150)),
+            (ComponentId::new(2), measurement(150)),
+        ];
+        let a = m.on_feedback(&congested);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].component, ComponentId::new(2)); // the video stream
+        assert_eq!(a[0].decision, GradeDecision::Degrade);
+        assert_eq!(m.level_of(ComponentId::new(1)), Some(GradeLevel(0)));
+        assert_eq!(m.level_of(ComponentId::new(2)), Some(GradeLevel(1)));
+    }
+
+    #[test]
+    fn audio_first_ablation_flips_order() {
+        let mut m = ServerQosManager::new(GradingOrder::AudioFirst, GradingHysteresis::default());
+        m.register(
+            ComponentId::new(1),
+            CodecModel::for_encoding(Encoding::Pcm),
+            GradeLevel(2),
+            req(),
+        );
+        m.register(
+            ComponentId::new(2),
+            CodecModel::for_encoding(Encoding::Mpeg),
+            GradeLevel(4),
+            req(),
+        );
+        let congested = vec![
+            (ComponentId::new(1), measurement(150)),
+            (ComponentId::new(2), measurement(150)),
+        ];
+        let a = m.on_feedback(&congested);
+        assert_eq!(a[0].component, ComponentId::new(1)); // audio degraded first
+    }
+
+    #[test]
+    fn sustained_congestion_walks_video_to_stop_then_audio() {
+        let mut m = manager_with_av();
+        let congested = vec![
+            (ComponentId::new(1), measurement(150)),
+            (ComponentId::new(2), measurement(150)),
+        ];
+        let mut stops = 0;
+        for _ in 0..12 {
+            for act in m.on_feedback(&congested) {
+                if act.decision == GradeDecision::Stop {
+                    stops += 1;
+                }
+            }
+        }
+        // Video: 4 degrades + stop; audio: 2 degrades + stop.
+        assert_eq!(stops, 2);
+        assert!(m.stream(ComponentId::new(2)).unwrap().converter.stopped);
+        assert!(m.stream(ComponentId::new(1)).unwrap().converter.stopped);
+        assert_eq!(m.total_bandwidth_bps(), 0);
+        assert_eq!(m.degrades_issued, 6);
+    }
+
+    #[test]
+    fn upgrade_requires_patience() {
+        let mut m = manager_with_av();
+        let congested = vec![
+            (ComponentId::new(1), measurement(150)),
+            (ComponentId::new(2), measurement(150)),
+        ];
+        m.on_feedback(&congested); // video → level 1
+        let healthy = vec![
+            (ComponentId::new(1), measurement(10)),
+            (ComponentId::new(2), measurement(10)),
+        ];
+        // Default patience is 3 healthy reports.
+        assert!(m.on_feedback(&healthy).is_empty());
+        assert!(m.on_feedback(&healthy).is_empty());
+        let a = m.on_feedback(&healthy);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].decision, GradeDecision::Upgrade);
+        assert_eq!(m.level_of(ComponentId::new(2)), Some(GradeLevel(0)));
+    }
+
+    #[test]
+    fn upgrade_restores_audio_before_video() {
+        let mut m = manager_with_av();
+        let congested = vec![
+            (ComponentId::new(1), measurement(150)),
+            (ComponentId::new(2), measurement(150)),
+        ];
+        // Degrade video fully (4 + stop) then audio once: 6 rounds.
+        for _ in 0..6 {
+            m.on_feedback(&congested);
+        }
+        assert_eq!(m.level_of(ComponentId::new(1)), Some(GradeLevel(1)));
+        let healthy = vec![
+            (ComponentId::new(1), measurement(10)),
+            (ComponentId::new(2), measurement(10)),
+        ];
+        let mut first_upgrade = None;
+        for _ in 0..10 {
+            let acts = m.on_feedback(&healthy);
+            if let Some(a) = acts.first() {
+                first_upgrade = Some(a.component);
+                break;
+            }
+        }
+        assert_eq!(
+            first_upgrade,
+            Some(ComponentId::new(1)),
+            "audio restored first"
+        );
+    }
+
+    #[test]
+    fn healthy_network_never_degrades() {
+        let mut m = manager_with_av();
+        let healthy = vec![
+            (ComponentId::new(1), measurement(10)),
+            (ComponentId::new(2), measurement(10)),
+        ];
+        for _ in 0..10 {
+            let acts = m.on_feedback(&healthy);
+            assert!(acts.is_empty(), "{acts:?}");
+        }
+        assert_eq!(m.degrades_issued, 0);
+    }
+
+    #[test]
+    fn mid_band_scores_hold() {
+        // Score between upgrade_below (0.5) and degrade_above (1.0): no
+        // action ever (the hysteresis dead-band).
+        let mut m = manager_with_av();
+        let mid = vec![
+            (ComponentId::new(1), measurement(70)),
+            (ComponentId::new(2), measurement(70)),
+        ];
+        m.on_feedback(&[
+            (ComponentId::new(1), measurement(150)),
+            (ComponentId::new(2), measurement(150)),
+        ]); // degrade once
+        for _ in 0..10 {
+            assert!(m.on_feedback(&mid).is_empty());
+        }
+        assert_eq!(m.level_of(ComponentId::new(2)), Some(GradeLevel(1)));
+    }
+
+    #[test]
+    fn unregister_removes_stream() {
+        let mut m = manager_with_av();
+        m.unregister(ComponentId::new(2));
+        assert!(m.stream(ComponentId::new(2)).is_none());
+        assert!(m.level_of(ComponentId::new(1)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid hysteresis")]
+    fn invalid_hysteresis_rejected() {
+        let _ = ServerQosManager::new(
+            GradingOrder::VideoFirst,
+            GradingHysteresis {
+                degrade_above: 0.4,
+                upgrade_below: 0.9,
+                upgrade_patience: 1,
+            },
+        );
+    }
+}

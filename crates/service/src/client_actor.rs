@@ -1,0 +1,946 @@
+//! The browser/client actor: drives the Fig. 4 state machine, receives
+//! scenarios, manages per-stream RTP receivers, buffers, playout and QoS
+//! feedback — the right half of paper Fig. 3, wired to the simulator.
+
+use crate::protocol::{MailMessage, SearchHit, ServiceMsg};
+use crate::timers;
+use hermes_client::{
+    AppEvent, AppStateMachine, BufferConfig, ClientQosManager, FeedbackConfig, PlayoutConfig,
+    PlayoutEngine,
+};
+use hermes_core::{
+    ComponentContent, ComponentId, DocumentId, LinkTarget, MediaDuration, MediaTime, NodeId,
+    PlayoutSchedule, PricingClass, QosMeasurement, Scenario, ServerId, SessionId, UserId,
+};
+use hermes_media::MediaFrame;
+use hermes_rtp::{ReceivedFrame, RtpReceiver};
+use hermes_server::{SubscriptionForm, TopicEntry};
+use hermes_simnet::SimApi;
+use std::collections::BTreeMap;
+
+/// The presentation currently being received/played.
+pub struct Presentation {
+    /// The document.
+    pub document: DocumentId,
+    /// The parsed scenario.
+    pub scenario: Scenario,
+    /// The derived schedule.
+    pub schedule: PlayoutSchedule,
+    /// The playout engine.
+    pub engine: PlayoutEngine,
+    /// RTP receivers per continuous component.
+    pub receivers: BTreeMap<ComponentId, RtpReceiver>,
+    /// Per-frame reassembly counters (frames delivered per component).
+    pub frames_received: BTreeMap<ComponentId, u64>,
+    /// Bytes accumulated for in-flight discrete objects, per component.
+    pub discrete_partial: BTreeMap<ComponentId, u32>,
+    /// The flow lead the server applied.
+    pub lead: MediaDuration,
+    /// When the scenario arrived (prefill delay measured from here).
+    pub scenario_at: MediaTime,
+    /// When playout started (None until the prefill completes).
+    pub started_at: Option<MediaTime>,
+    /// When the user paused, if currently paused.
+    pub paused_at: Option<MediaTime>,
+    /// Ticking is active.
+    pub ticking: bool,
+    /// The timed (`AT`) auto-link already fired for this presentation.
+    pub auto_link_fired: bool,
+}
+
+impl Presentation {
+    /// The intentional initial delay experienced (start − scenario arrival).
+    pub fn startup_delay(&self) -> Option<MediaDuration> {
+        self.started_at.map(|t| t - self.scenario_at)
+    }
+}
+
+/// Client configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Pricing contract used at connect time.
+    pub class: PricingClass,
+    /// Per-stream buffer configuration (media time window).
+    pub buffer: BufferConfig,
+    /// Playout/recovery configuration.
+    pub playout: PlayoutConfig,
+    /// Feedback cadence.
+    pub feedback: FeedbackConfig,
+    /// Playout tick interval.
+    pub tick_interval: MediaDuration,
+    /// Give up waiting for prefill after this long and start anyway.
+    pub max_start_delay: MediaDuration,
+    /// Automatically follow timed (`AT`) links when a presentation ends.
+    pub auto_follow_links: bool,
+    /// The subscription form used when the server requires enrolment.
+    pub form: SubscriptionForm,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            class: PricingClass::Standard,
+            buffer: BufferConfig::default(),
+            playout: PlayoutConfig::default(),
+            feedback: FeedbackConfig::default(),
+            tick_interval: MediaDuration::from_millis(20),
+            max_start_delay: MediaDuration::from_secs(8),
+            auto_follow_links: false,
+            form: SubscriptionForm {
+                name: "Test User".into(),
+                address: "1 Simulation Way".into(),
+                telephone: "000".into(),
+                email: "user@hermes".into(),
+                class: PricingClass::Standard,
+            },
+        }
+    }
+}
+
+/// The browser actor.
+pub struct ClientActor {
+    /// The node this client runs on.
+    pub node: NodeId,
+    /// Configuration.
+    pub cfg: ClientConfig,
+    /// Fig. 4 state machine.
+    pub machine: AppStateMachine,
+    /// Subscribed identity, once known.
+    pub user: Option<UserId>,
+    /// The active (server node, session).
+    pub session: Option<(NodeId, SessionId)>,
+    /// A suspended (server node, session) kept during migration.
+    pub suspended: Option<(NodeId, SessionId)>,
+    /// Topics last received.
+    pub topics: Vec<TopicEntry>,
+    /// The current presentation.
+    pub presentation: Option<Presentation>,
+    /// The client QoS manager.
+    pub qos: ClientQosManager,
+    /// ServerId → NodeId directory (for remote links), set by the world.
+    pub directory: BTreeMap<ServerId, NodeId>,
+    /// Completed presentations (document, startup delay, max skew µs).
+    pub completed: Vec<(DocumentId, MediaDuration, MediaDuration)>,
+    /// Browser history: documents viewed, oldest first (§6.2.3: "moving
+    /// backward and forward in the list of already viewed lessons").
+    pub history: Vec<DocumentId>,
+    /// Cursor into `history` for back/forward navigation.
+    history_cursor: usize,
+    /// Search results by query id.
+    pub search_results: BTreeMap<u64, Vec<SearchHit>>,
+    /// Fetched mailbox.
+    pub mailbox: Vec<MailMessage>,
+    /// Fetched annotations by document.
+    pub annotations: BTreeMap<DocumentId, Vec<String>>,
+    /// Document queued to request once a connection/topic list is ready.
+    pub pending_request: Option<DocumentId>,
+    /// Human-readable event log.
+    pub log: Vec<(MediaTime, String)>,
+    /// Errors received (DocError / ConnectReject reasons).
+    pub errors: Vec<String>,
+    /// The in-flight document request is a history navigation (don't extend
+    /// the history when its scenario arrives).
+    history_nav: bool,
+    next_query: u64,
+}
+
+impl ClientActor {
+    /// Create a client on a node.
+    pub fn new(node: NodeId, cfg: ClientConfig) -> Self {
+        let feedback = cfg.feedback;
+        ClientActor {
+            node,
+            cfg,
+            machine: AppStateMachine::new(),
+            user: None,
+            session: None,
+            suspended: None,
+            topics: Vec::new(),
+            presentation: None,
+            qos: ClientQosManager::new(feedback),
+            directory: BTreeMap::new(),
+            completed: Vec::new(),
+            history: Vec::new(),
+            history_cursor: 0,
+            search_results: BTreeMap::new(),
+            mailbox: Vec::new(),
+            annotations: BTreeMap::new(),
+            pending_request: None,
+            log: Vec::new(),
+            errors: Vec::new(),
+            history_nav: false,
+            next_query: 1,
+        }
+    }
+
+    fn note(&mut self, at: MediaTime, msg: impl Into<String>) {
+        self.log.push((at, msg.into()));
+    }
+
+    /// User action: connect to a server, optionally queueing a document to
+    /// request as soon as the topic list arrives.
+    pub fn connect(
+        &mut self,
+        api: &mut SimApi<'_, ServiceMsg>,
+        server: NodeId,
+        request: Option<DocumentId>,
+    ) {
+        if self.machine.apply(AppEvent::Connect).is_err() {
+            return;
+        }
+        self.pending_request = request;
+        let msg = ServiceMsg::Connect {
+            user: self.user,
+            class: self.cfg.class,
+        };
+        self.note(api.now(), format!("connect → node {server}"));
+        api.send_reliable(self.node, server, msg);
+        self.session = Some((server, SessionId::new(0))); // placeholder until ack
+    }
+
+    /// User action: request a document from the connected server.
+    pub fn request_document(&mut self, api: &mut SimApi<'_, ServiceMsg>, doc: DocumentId) {
+        let Some((server, session)) = self.session else {
+            return;
+        };
+        if self.machine.apply(AppEvent::RequestDocument).is_err() {
+            return;
+        }
+        self.note(api.now(), format!("request {doc}"));
+        api.send_reliable(
+            self.node,
+            server,
+            ServiceMsg::DocRequest {
+                session,
+                document: doc,
+            },
+        );
+    }
+
+    /// User action: pause the presentation.
+    pub fn pause(&mut self, api: &mut SimApi<'_, ServiceMsg>) {
+        let Some((server, session)) = self.session else {
+            return;
+        };
+        if self.machine.apply(AppEvent::Pause).is_err() {
+            return;
+        }
+        let now = api.now();
+        if let Some(p) = &mut self.presentation {
+            p.paused_at = Some(now);
+        }
+        api.send_reliable(self.node, server, ServiceMsg::Pause { session });
+        self.note(now, "pause");
+    }
+
+    /// User action: resume a paused presentation.
+    pub fn resume(&mut self, api: &mut SimApi<'_, ServiceMsg>) {
+        let Some((server, session)) = self.session else {
+            return;
+        };
+        if self.machine.apply(AppEvent::Resume).is_err() {
+            return;
+        }
+        let now = api.now();
+        if let Some(p) = &mut self.presentation {
+            if let Some(paused_at) = p.paused_at.take() {
+                // Shift the presentation clock by the pause duration so
+                // deadlines resume "from the point it was paused" (§5).
+                p.engine.shift_clock(now - paused_at);
+            }
+        }
+        api.send_reliable(self.node, server, ServiceMsg::Resume { session });
+        self.note(now, "resume");
+    }
+
+    /// User action: go back to the previously viewed document (§6.2.3).
+    /// Returns false if there is nothing earlier in the history.
+    pub fn back(&mut self, api: &mut SimApi<'_, ServiceMsg>) -> bool {
+        if self.history_cursor <= 1 {
+            return false;
+        }
+        let doc = self.history[self.history_cursor - 2];
+        if !self.navigate_history(api, doc) {
+            return false;
+        }
+        self.history_cursor -= 1;
+        true
+    }
+
+    /// User action: go forward again after `back` (§6.2.3). Returns false
+    /// at the newest entry.
+    pub fn forward(&mut self, api: &mut SimApi<'_, ServiceMsg>) -> bool {
+        if self.history_cursor >= self.history.len() {
+            return false;
+        }
+        let doc = self.history[self.history_cursor];
+        if !self.navigate_history(api, doc) {
+            return false;
+        }
+        self.history_cursor += 1;
+        true
+    }
+
+    /// Issue a history navigation without growing the history.
+    fn navigate_history(&mut self, api: &mut SimApi<'_, ServiceMsg>, doc: DocumentId) -> bool {
+        let Some((server, session)) = self.session else {
+            return false;
+        };
+        // From Browsing, Viewing or Paused; the scenario handler will see
+        // the `history_nav` flag and skip the history append.
+        let ev = match self.machine.state() {
+            hermes_client::AppState::Browsing => AppEvent::RequestDocument,
+            hermes_client::AppState::Viewing | hermes_client::AppState::Paused => {
+                AppEvent::FollowLocalLink
+            }
+            _ => return false,
+        };
+        if self.machine.apply(ev).is_err() {
+            return false;
+        }
+        self.presentation = None;
+        self.history_nav = true;
+        self.note(api.now(), format!("history → {doc}"));
+        api.send_reliable(
+            self.node,
+            server,
+            ServiceMsg::DocRequest {
+                session,
+                document: doc,
+            },
+        );
+        true
+    }
+
+    /// User action: reload the current document ("the user can request to
+    /// reload an already selected document", §5).
+    pub fn reload(&mut self, api: &mut SimApi<'_, ServiceMsg>) {
+        let Some((server, session)) = self.session else {
+            return;
+        };
+        let Some(doc) = self.presentation.as_ref().map(|p| p.document) else {
+            return;
+        };
+        if self.machine.apply(AppEvent::Reload).is_err() {
+            return;
+        }
+        self.presentation = None;
+        self.note(api.now(), format!("reload {doc}"));
+        api.send_reliable(
+            self.node,
+            server,
+            ServiceMsg::DocRequest {
+                session,
+                document: doc,
+            },
+        );
+    }
+
+    /// User action: follow a link of the current document.
+    pub fn follow_link(&mut self, api: &mut SimApi<'_, ServiceMsg>, target: LinkTarget) {
+        match target {
+            LinkTarget::Local(doc) => {
+                if self.machine.apply(AppEvent::FollowLocalLink).is_err() {
+                    return;
+                }
+                let Some((server, session)) = self.session else {
+                    return;
+                };
+                self.presentation = None;
+                self.note(api.now(), format!("follow local link → {doc}"));
+                api.send_reliable(
+                    self.node,
+                    server,
+                    ServiceMsg::DocRequest {
+                        session,
+                        document: doc,
+                    },
+                );
+            }
+            LinkTarget::Remote(server_id, doc) => {
+                let Some(&new_node) = self.directory.get(&server_id) else {
+                    self.errors.push(format!("unknown server {server_id}"));
+                    return;
+                };
+                if self.machine.apply(AppEvent::FollowRemoteLink).is_err() {
+                    return;
+                }
+                // "a suspend connection primitive is invoked and a request
+                // for a new connection with a new server is performed" (§5).
+                if let Some((old_server, old_session)) = self.session.take() {
+                    api.send_reliable(
+                        self.node,
+                        old_server,
+                        ServiceMsg::SuspendConnection {
+                            session: old_session,
+                        },
+                    );
+                    self.suspended = Some((old_server, old_session));
+                }
+                self.presentation = None;
+                self.pending_request = Some(doc);
+                self.note(api.now(), format!("migrate → {server_id} for {doc}"));
+                api.send_reliable(
+                    self.node,
+                    new_node,
+                    ServiceMsg::Connect {
+                        user: self.user,
+                        class: self.cfg.class,
+                    },
+                );
+                self.session = Some((new_node, SessionId::new(0)));
+            }
+        }
+    }
+
+    /// User action: disable one media stream of the current presentation
+    /// ("disable the presentation of a particular media involved in the
+    /// selected document", §5). Stops local playout and tells the media
+    /// server to stop transmitting it.
+    pub fn disable_stream(&mut self, api: &mut SimApi<'_, ServiceMsg>, component: ComponentId) {
+        let Some((server, session)) = self.session else {
+            return;
+        };
+        if let Some(p) = &mut self.presentation {
+            p.engine.disable(component);
+        }
+        self.note(api.now(), format!("disable {component}"));
+        api.send_reliable(
+            self.node,
+            server,
+            ServiceMsg::DisableStream { session, component },
+        );
+    }
+
+    /// User action: search the service.
+    pub fn search(&mut self, api: &mut SimApi<'_, ServiceMsg>, token: impl Into<String>) -> u64 {
+        let Some((server, session)) = self.session else {
+            return 0;
+        };
+        let query = self.next_query;
+        self.next_query += 1;
+        api.send_reliable(
+            self.node,
+            server,
+            ServiceMsg::SearchRequest {
+                session,
+                token: token.into(),
+                query,
+            },
+        );
+        query
+    }
+
+    /// User action: annotate the current (or any) document with a remark.
+    pub fn annotate(
+        &mut self,
+        api: &mut SimApi<'_, ServiceMsg>,
+        document: DocumentId,
+        text: impl Into<String>,
+    ) {
+        let Some((server, session)) = self.session else {
+            return;
+        };
+        api.send_reliable(
+            self.node,
+            server,
+            ServiceMsg::Annotate {
+                session,
+                document,
+                text: text.into(),
+            },
+        );
+    }
+
+    /// User action: fetch this user's annotations on a document.
+    pub fn fetch_annotations(&mut self, api: &mut SimApi<'_, ServiceMsg>, document: DocumentId) {
+        let Some((server, session)) = self.session else {
+            return;
+        };
+        api.send_reliable(
+            self.node,
+            server,
+            ServiceMsg::AnnotationsFetch { session, document },
+        );
+    }
+
+    /// User action: send mail to the tutor.
+    pub fn send_mail(&mut self, api: &mut SimApi<'_, ServiceMsg>, mail: MailMessage) {
+        let Some((server, _)) = self.session else {
+            return;
+        };
+        api.send_reliable(self.node, server, ServiceMsg::MailSend { mail });
+    }
+
+    /// User action: fetch a mailbox.
+    pub fn fetch_mail(&mut self, api: &mut SimApi<'_, ServiceMsg>, address: impl Into<String>) {
+        let Some((server, _)) = self.session else {
+            return;
+        };
+        api.send_reliable(
+            self.node,
+            server,
+            ServiceMsg::MailFetch {
+                address: address.into(),
+            },
+        );
+    }
+
+    /// User action: disconnect.
+    pub fn disconnect(&mut self, api: &mut SimApi<'_, ServiceMsg>) {
+        if let Some((server, session)) = self.session.take() {
+            let _ = self.machine.apply(AppEvent::Disconnect);
+            api.send_reliable(self.node, server, ServiceMsg::Disconnect { session });
+            self.presentation = None;
+            self.note(api.now(), "disconnect");
+        }
+    }
+
+    /// Handle an incoming message.
+    pub fn on_message(&mut self, api: &mut SimApi<'_, ServiceMsg>, from: NodeId, msg: ServiceMsg) {
+        match msg {
+            ServiceMsg::ConnectAck {
+                session,
+                must_subscribe,
+            } => {
+                self.session = Some((from, session));
+                if must_subscribe {
+                    if self.machine.apply(AppEvent::AuthUnknownUser).is_ok() {
+                        let form = self.cfg.form.clone();
+                        api.send_reliable(self.node, from, ServiceMsg::Subscribe { session, form });
+                    }
+                } else {
+                    // Known subscriber — or a migration completing.
+                    let ev = if self.suspended.is_some() {
+                        AppEvent::MigrationComplete
+                    } else {
+                        AppEvent::AuthOk
+                    };
+                    let _ = self.machine.apply(ev);
+                    if ev == AppEvent::MigrationComplete {
+                        if let Some(doc) = self.pending_request.take() {
+                            api.send_reliable(
+                                self.node,
+                                from,
+                                ServiceMsg::DocRequest {
+                                    session,
+                                    document: doc,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            ServiceMsg::ConnectReject { reason } => {
+                self.errors.push(reason);
+                let _ = self.machine.apply(AppEvent::AdmissionRejected);
+                self.session = None;
+            }
+            ServiceMsg::SubscribeAck { user, .. } => {
+                self.user = Some(user);
+                let _ = self.machine.apply(AppEvent::SubscriptionAccepted);
+            }
+            ServiceMsg::TopicList { topics, .. } => {
+                self.topics = topics;
+                if let Some(doc) = self.pending_request.take() {
+                    self.request_document(api, doc);
+                }
+            }
+            ServiceMsg::ScenarioResponse {
+                document,
+                markup,
+                lead_micros,
+                ..
+            } => self.on_scenario(api, document, &markup, lead_micros),
+            ServiceMsg::DocError { reason, .. } => {
+                self.errors.push(reason);
+                let _ = self.machine.apply(AppEvent::RequestFailed);
+            }
+            ServiceMsg::RtpData {
+                component,
+                packet,
+                sent_at,
+                ..
+            } => self.on_rtp(api, component, packet, sent_at),
+            ServiceMsg::DiscreteData {
+                component,
+                size,
+                total,
+                last,
+                sent_at,
+                ..
+            } => {
+                let now = api.now();
+                self.qos.stream_mut(component).on_packet(now - sent_at);
+                if let Some(p) = &mut self.presentation {
+                    // Accumulate segments; deliver the object on the last.
+                    let got = p.discrete_partial.entry(component).or_insert(0);
+                    *got += size;
+                    if last {
+                        let assembled = (*got).min(total);
+                        p.discrete_partial.remove(&component);
+                        let delivered = p.engine.deliver(MediaFrame {
+                            component,
+                            seq: 0,
+                            pts: MediaTime::ZERO,
+                            size: assembled,
+                            key: true,
+                            level: hermes_core::GradeLevel::NOMINAL,
+                            last: true,
+                        });
+                        if delivered {
+                            *p.frames_received.entry(component).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+            ServiceMsg::RtcpSenderReport {
+                component,
+                packet: hermes_rtp::RtcpPacket::SenderReport { ntp_timestamp, .. },
+                ..
+            } => {
+                let now = api.now();
+                if let Some(p) = &mut self.presentation {
+                    if let Some(rx) = p.receivers.get_mut(&component) {
+                        rx.on_sender_report(ntp_timestamp, now);
+                    }
+                }
+            }
+            ServiceMsg::StreamStopped { component, .. } => {
+                let now = api.now();
+                if let Some(p) = &mut self.presentation {
+                    p.engine.finish_stream(component, now);
+                }
+                self.note(now, format!("server stopped {component}"));
+            }
+            ServiceMsg::StreamRegraded {
+                component, level, ..
+            } => {
+                let now = api.now();
+                // An upgrade may restart a stream the server had stopped.
+                if let Some(p) = &mut self.presentation {
+                    p.engine.restart_stream(component, now);
+                }
+                self.note(now, format!("{component} regraded to level {level}"));
+            }
+            ServiceMsg::SuspendExpired { .. } => {
+                self.suspended = None;
+                self.note(api.now(), "suspended connection expired");
+            }
+            ServiceMsg::SearchResponse { query, hits, .. } => {
+                self.search_results.insert(query, hits);
+            }
+            ServiceMsg::MailBox { messages } => {
+                self.mailbox = messages;
+            }
+            ServiceMsg::Annotations { document, notes } => {
+                self.annotations.insert(document, notes);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_scenario(
+        &mut self,
+        api: &mut SimApi<'_, ServiceMsg>,
+        document: DocumentId,
+        markup: &str,
+        lead_micros: i64,
+    ) {
+        let Some((server, _)) = self.session else {
+            return;
+        };
+        let _ = server;
+        if self.machine.apply(AppEvent::ScenarioReceived).is_err() {
+            return;
+        }
+        // The client re-derives the server id from the directory; relative
+        // sources were resolved server-side before storage, so any ServerId
+        // works for parsing — use the one from the directory reverse map.
+        let home = self
+            .directory
+            .iter()
+            .find(|(_, n)| **n == self.session.unwrap().0)
+            .map(|(s, _)| *s)
+            .unwrap_or(ServerId::new(0));
+        let scenario = match hermes_hml::scenario_from_markup(markup, document, home) {
+            Ok(s) => s,
+            Err(e) => {
+                self.errors.push(e.to_string());
+                let _ = self.machine.apply(AppEvent::RequestFailed);
+                return;
+            }
+        };
+        let schedule = PlayoutSchedule::from_scenario(&scenario);
+        // Frame periods per component from the codec models.
+        let mut periods = BTreeMap::new();
+        let mut receivers = BTreeMap::new();
+        for c in &scenario.components {
+            if let ComponentContent::Stored { encoding, .. } = &c.content {
+                let model = hermes_media::CodecModel::for_encoding(*encoding);
+                periods.insert(
+                    c.id,
+                    model.level(hermes_core::GradeLevel::NOMINAL).frame_period(),
+                );
+                if c.is_continuous() {
+                    receivers.insert(c.id, RtpReceiver::new(*encoding));
+                }
+                self.qos.track(c.id);
+            }
+        }
+        let engine = PlayoutEngine::new(
+            &scenario,
+            &schedule,
+            self.cfg.buffer,
+            &periods,
+            self.cfg.playout,
+        );
+        let now = api.now();
+        if self.history_nav {
+            self.history_nav = false;
+        } else {
+            // A fresh navigation truncates any forward entries.
+            self.history.truncate(self.history_cursor);
+            self.history.push(document);
+            self.history_cursor = self.history.len();
+        }
+        self.presentation = Some(Presentation {
+            document,
+            scenario,
+            schedule,
+            engine,
+            receivers,
+            frames_received: BTreeMap::new(),
+            discrete_partial: BTreeMap::new(),
+            lead: MediaDuration::from_micros(lead_micros),
+            scenario_at: now,
+            started_at: None,
+            paused_at: None,
+            ticking: false,
+            auto_link_fired: false,
+        });
+        self.note(now, format!("scenario for {document} received"));
+        api.set_timer(
+            self.node,
+            MediaDuration::from_millis(20),
+            timers::TK_PRIME,
+            0,
+        );
+    }
+
+    fn on_rtp(
+        &mut self,
+        api: &mut SimApi<'_, ServiceMsg>,
+        component: ComponentId,
+        packet: hermes_rtp::RtpPacket,
+        sent_at: MediaTime,
+    ) {
+        let now = api.now();
+        self.qos.stream_mut(component).on_packet(now - sent_at);
+        let Some(p) = &mut self.presentation else {
+            return;
+        };
+        let Some(rx) = p.receivers.get_mut(&component) else {
+            return;
+        };
+        rx.on_packet(&packet, now);
+        let frames: Vec<ReceivedFrame> = rx.take_frames();
+        for f in frames {
+            let n = p.frames_received.entry(component).or_insert(0);
+            p.engine.deliver(MediaFrame {
+                component,
+                seq: *n,
+                pts: f.pts,
+                size: f.size,
+                key: true,
+                level: hermes_core::GradeLevel::NOMINAL,
+                last: false,
+            });
+            *n += 1;
+        }
+    }
+
+    /// Handle a timer.
+    pub fn on_timer(&mut self, api: &mut SimApi<'_, ServiceMsg>, key: u64, _payload: u64) {
+        match key {
+            timers::TK_PRIME => self.check_prime(api),
+            timers::TK_TICK => self.tick(api),
+            timers::TK_FEEDBACK => self.send_feedback(api),
+            _ => {}
+        }
+    }
+
+    fn check_prime(&mut self, api: &mut SimApi<'_, ServiceMsg>) {
+        let now = api.now();
+        let Some(p) = &mut self.presentation else {
+            return;
+        };
+        if p.started_at.is_some() {
+            return;
+        }
+        let waited = now - p.scenario_at;
+        // Streams starting within `lead` of the presentation start must be
+        // primed; later ones keep filling while earlier media plays.
+        let ready = p.engine.buffers_primed_for_start(p.lead) || waited >= self.cfg.max_start_delay;
+        if ready {
+            p.started_at = Some(now);
+            p.engine.start(now);
+            p.ticking = true;
+            self.note(now, "presentation started");
+            api.set_timer(self.node, self.cfg.tick_interval, timers::TK_TICK, 0);
+            api.set_timer(
+                self.node,
+                self.cfg.feedback.interval,
+                timers::TK_FEEDBACK,
+                0,
+            );
+        } else {
+            api.set_timer(
+                self.node,
+                MediaDuration::from_millis(20),
+                timers::TK_PRIME,
+                0,
+            );
+        }
+    }
+
+    fn tick(&mut self, api: &mut SimApi<'_, ServiceMsg>) {
+        let now = api.now();
+        let mut finished: Option<(DocumentId, MediaDuration, MediaDuration)> = None;
+        {
+            let Some(p) = &mut self.presentation else {
+                return;
+            };
+            if !p.ticking {
+                return;
+            }
+            if p.paused_at.is_none() {
+                p.engine.tick(now);
+                // Mirror buffer occupancy into the QoS trackers.
+                for s in p.engine.streams() {
+                    if let Some(b) = &s.buffer {
+                        self.qos.stream_mut(s.component).buffer_occupancy = b.occupancy().min(1.0);
+                    }
+                }
+            }
+            if p.engine.is_complete() {
+                p.ticking = false;
+                finished = Some((
+                    p.document,
+                    p.startup_delay().unwrap_or(MediaDuration::ZERO),
+                    p.engine.max_skew_observed,
+                ));
+            } else {
+                api.set_timer(self.node, self.cfg.tick_interval, timers::TK_TICK, 0);
+            }
+        }
+        if finished.is_none() && self.cfg.auto_follow_links {
+            // Timed (`AT`) hyperlink on a still-running presentation: "a
+            // specific link will be automatically followed after the
+            // expiration of a time period ... the activation of a hyperlink
+            // ... will interrupt the presentation" (§3). Runs after the
+            // engine tick so a link timed exactly at the presentation end
+            // counts as completion, not interruption.
+            let fire = self.presentation.as_ref().and_then(|p| {
+                if p.auto_link_fired || p.paused_at.is_some() || !p.ticking {
+                    return None;
+                }
+                let t0 = p.engine.presentation_start?;
+                let elapsed = now - t0;
+                let link = p.scenario.next_auto_link()?;
+                let at = link.auto_at?;
+                if elapsed >= (at - MediaTime::ZERO) && !p.engine.is_complete() {
+                    Some(link.target.clone())
+                } else {
+                    None
+                }
+            });
+            if let Some(target) = fire {
+                if let Some(p) = &mut self.presentation {
+                    p.auto_link_fired = true;
+                    p.ticking = false;
+                }
+                self.note(now, "timed link fired — interrupting presentation");
+                self.follow_link(api, target);
+                return;
+            }
+        }
+        if let Some((doc, delay, skew)) = finished {
+            self.completed.push((doc, delay, skew));
+            self.note(now, format!("presentation of {doc} complete"));
+            let _ = self.machine.apply(AppEvent::PresentationEnded);
+            if self.cfg.auto_follow_links {
+                let link = self
+                    .presentation
+                    .as_ref()
+                    .and_then(|p| p.scenario.next_auto_link().cloned());
+                if let Some(l) = link {
+                    // Auto-follow preserves "the sequential nature or
+                    // 'writer's way' of presentation" (§3).
+                    let _ = self.machine.apply(AppEvent::RequestDocument);
+                    let target = l.target.clone();
+                    // Undo the RequestDocument if follow_link path needs a
+                    // different event; local links re-request directly.
+                    match target {
+                        LinkTarget::Local(doc) => {
+                            if let Some((server, session)) = self.session {
+                                self.presentation = None;
+                                api.send_reliable(
+                                    self.node,
+                                    server,
+                                    ServiceMsg::DocRequest {
+                                        session,
+                                        document: doc,
+                                    },
+                                );
+                            }
+                        }
+                        LinkTarget::Remote(_, _) => {
+                            // Remote auto-follow uses the interactive path.
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn send_feedback(&mut self, api: &mut SimApi<'_, ServiceMsg>) {
+        let Some((server, session)) = self.session else {
+            return;
+        };
+        let now = api.now();
+        let still_active = match &self.presentation {
+            Some(p) => p.ticking || p.started_at.is_none(),
+            None => false,
+        };
+        // Build measurements: delays/jitter from the QoS trackers, loss from
+        // the RTP receiver statistics.
+        let mut measurements: Vec<(ComponentId, QosMeasurement)> = self.qos.make_report(now);
+        let mut rtcp = Vec::new();
+        if let Some(p) = &mut self.presentation {
+            for (id, m) in &mut measurements {
+                if let Some(rx) = p.receivers.get_mut(id) {
+                    m.loss_fraction = rx.stats.take_interval_loss();
+                    rtcp.push(rx.receiver_report(self.node.raw() as u32, now));
+                }
+            }
+        }
+        api.send(
+            self.node,
+            server,
+            ServiceMsg::Feedback {
+                session,
+                measurements,
+                rtcp,
+            },
+        );
+        if still_active {
+            api.set_timer(
+                self.node,
+                self.cfg.feedback.interval,
+                timers::TK_FEEDBACK,
+                0,
+            );
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! The service's application protocol messages.
+//!
+//! The protocol stack (paper Fig. 5): the presentation scenario, discrete
+//! media and all control traffic travel over the reliable (TCP-like)
+//! transport; continuous media travel as RTP over the datagram (UDP-like)
+//! transport; RTCP receiver reports ride the datagram path back. Each
+//! message declares its wire size so the simulated links can charge
+//! serialization delay faithfully.
+
+use hermes_core::{
+    ComponentId, DocumentId, MediaTime, PricingClass, QosMeasurement, ServerId, SessionId, UserId,
+};
+use hermes_rtp::{RtcpPacket, RtpPacket};
+use hermes_server::{SubscriptionForm, TopicEntry};
+use hermes_simnet::WireSize;
+
+/// TCP+IP header overhead charged to reliable messages.
+pub const TCP_IP_OVERHEAD: usize = 40;
+
+/// Which stack path a message takes (for the FIG5 byte accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StackPath {
+    /// Control + scenario + discrete media over TCP.
+    ControlTcp,
+    /// Continuous media over RTP/UDP.
+    MediaRtpUdp,
+    /// Feedback over RTCP/UDP.
+    FeedbackRtcpUdp,
+    /// Asynchronous mail over SMTP/MIME.
+    MailSmtp,
+}
+
+/// A search hit returned by the distributed search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchHit {
+    /// The server holding the lesson (the "server location" of §6.2.2).
+    pub server: ServerId,
+    /// The matching document.
+    pub document: DocumentId,
+    /// Its title.
+    pub title: String,
+}
+
+/// A simulated e-mail message (SMTP/MIME path of Fig. 5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MailMessage {
+    /// Sender address.
+    pub from: String,
+    /// Recipient address.
+    pub to: String,
+    /// Subject line.
+    pub subject: String,
+    /// Body text.
+    pub body: String,
+    /// MIME attachments as (content-type, size-bytes) pairs.
+    pub attachments: Vec<(String, u32)>,
+}
+
+impl MailMessage {
+    /// Approximate RFC822+MIME size.
+    pub fn wire_bytes(&self) -> usize {
+        let headers = 128 + self.from.len() + self.to.len() + self.subject.len();
+        let attach: usize = self
+            .attachments
+            .iter()
+            .map(|(ct, sz)| ct.len() + 64 + *sz as usize)
+            .sum();
+        headers + self.body.len() + attach
+    }
+}
+
+/// All messages exchanged by the service's actors.
+#[derive(Debug, Clone)]
+pub enum ServiceMsg {
+    // ---- connection / session control (TCP path) ----
+    /// Client → server: connection request with optional existing identity.
+    Connect {
+        /// Existing subscriber id, if any.
+        user: Option<UserId>,
+        /// The pricing contract claimed.
+        class: PricingClass,
+    },
+    /// Server → client: connection accepted; session established.
+    ConnectAck {
+        /// The session id allocated by the server.
+        session: SessionId,
+        /// Whether the user must subscribe first.
+        must_subscribe: bool,
+    },
+    /// Server → client: connection rejected by admission.
+    ConnectReject {
+        /// Why.
+        reason: String,
+    },
+    /// Client → server: filled-in subscription form.
+    Subscribe {
+        /// The session performing the subscription.
+        session: SessionId,
+        /// The form.
+        form: SubscriptionForm,
+    },
+    /// Server → client: subscription accepted; identity issued.
+    SubscribeAck {
+        /// The session.
+        session: SessionId,
+        /// The new user id.
+        user: UserId,
+    },
+    /// Server → client: the list of available topics (service contents).
+    TopicList {
+        /// The session.
+        session: SessionId,
+        /// The topics.
+        topics: Vec<TopicEntry>,
+    },
+    /// Client → server: request a document/lesson.
+    DocRequest {
+        /// The session.
+        session: SessionId,
+        /// The document wanted.
+        document: DocumentId,
+    },
+    /// Server → client: the presentation scenario (markup text) plus the
+    /// per-stream delivery lead the flow scheduler applied.
+    ScenarioResponse {
+        /// The session.
+        session: SessionId,
+        /// The document.
+        document: DocumentId,
+        /// The markup text ("actually a text file").
+        markup: String,
+        /// The flow lead (client uses it to size its expectation of the
+        /// initial prefill delay).
+        lead_micros: i64,
+    },
+    /// Server → client: the request failed.
+    DocError {
+        /// The session.
+        session: SessionId,
+        /// Why.
+        reason: String,
+    },
+    /// Client → server: pause the presentation (stop transmitting).
+    Pause {
+        /// The session.
+        session: SessionId,
+    },
+    /// Client → server: resume from the pause point.
+    Resume {
+        /// The session.
+        session: SessionId,
+    },
+    /// Client → server: disable one media stream of the presentation.
+    DisableStream {
+        /// The session.
+        session: SessionId,
+        /// The stream to stop sending.
+        component: ComponentId,
+    },
+    /// Client → server: suspend the connection (remote-link migration);
+    /// the server keeps it alive for a grace period.
+    SuspendConnection {
+        /// The session.
+        session: SessionId,
+    },
+    /// Client → server: resume a previously suspended connection.
+    ResumeSuspended {
+        /// The session.
+        session: SessionId,
+    },
+    /// Server → client: a suspended connection's grace period expired and
+    /// it was closed ("the connection closes and the attached client is
+    /// informed about the event").
+    SuspendExpired {
+        /// The session.
+        session: SessionId,
+    },
+    /// Client → server: disconnect.
+    Disconnect {
+        /// The session.
+        session: SessionId,
+    },
+    /// Server → client: a stream was stopped server-side (grading floor).
+    StreamStopped {
+        /// The session.
+        session: SessionId,
+        /// The stopped stream.
+        component: ComponentId,
+    },
+    /// Server → client: a stream's quality level changed (informational).
+    StreamRegraded {
+        /// The session.
+        session: SessionId,
+        /// The stream.
+        component: ComponentId,
+        /// New ladder level.
+        level: u8,
+    },
+
+    // ---- media (RTP/UDP path) ----
+    /// Media server → client: one RTP packet of a continuous stream.
+    RtpData {
+        /// The session.
+        session: SessionId,
+        /// Which component the packet belongs to.
+        component: ComponentId,
+        /// The RTP packet.
+        packet: RtpPacket,
+        /// Transmission instant (the "timestamping indication" the client
+        /// QoS manager uses for delay measurements).
+        sent_at: MediaTime,
+    },
+    /// Server → client: one segment of a discrete media object (image /
+    /// text file) pushed over the reliable path. Large objects are
+    /// segmented to MTU-sized chunks, as TCP would.
+    DiscreteData {
+        /// The session.
+        session: SessionId,
+        /// The component.
+        component: ComponentId,
+        /// This segment's payload size in bytes.
+        size: u32,
+        /// Total object size in bytes.
+        total: u32,
+        /// True on the final segment.
+        last: bool,
+        /// Transmission instant.
+        sent_at: MediaTime,
+    },
+
+    /// Media server → client: an RTCP sender report for one stream (sent
+    /// periodically alongside the data, per RFC 3550).
+    RtcpSenderReport {
+        /// The session.
+        session: SessionId,
+        /// The stream the report describes.
+        component: ComponentId,
+        /// The report packet.
+        packet: RtcpPacket,
+    },
+
+    // ---- feedback (RTCP path) ----
+    /// Client → server: periodic feedback report (RTCP receiver reports
+    /// plus the QoS manager's per-stream measurements).
+    Feedback {
+        /// The session.
+        session: SessionId,
+        /// Per-stream QoS measurements.
+        measurements: Vec<(ComponentId, QosMeasurement)>,
+        /// The raw RTCP receiver reports.
+        rtcp: Vec<RtcpPacket>,
+    },
+
+    // ---- distributed search (TCP path) ----
+    /// Client → home server: search the whole service.
+    SearchRequest {
+        /// The session.
+        session: SessionId,
+        /// The search token.
+        token: String,
+        /// Query id for response matching.
+        query: u64,
+    },
+    /// Home server → other server: fan out the query.
+    SearchFanout {
+        /// Query id.
+        query: u64,
+        /// The token.
+        token: String,
+        /// Node to send results back to.
+        origin: hermes_core::NodeId,
+    },
+    /// Other server → home server: partial results.
+    SearchPartial {
+        /// Query id.
+        query: u64,
+        /// Hits on the responding server.
+        hits: Vec<SearchHit>,
+    },
+    /// Home server → client: merged results.
+    SearchResponse {
+        /// The session.
+        session: SessionId,
+        /// Query id.
+        query: u64,
+        /// All hits across the service.
+        hits: Vec<SearchHit>,
+    },
+
+    // ---- annotations (TCP path) ----
+    /// Client → server: annotate a document with the user's own remarks
+    /// (§5: "the user may also annotate the selected document").
+    Annotate {
+        /// The session (identifies the user).
+        session: SessionId,
+        /// The annotated document.
+        document: DocumentId,
+        /// The remark text.
+        text: String,
+    },
+    /// Client → server: fetch the user's annotations on a document.
+    AnnotationsFetch {
+        /// The session.
+        session: SessionId,
+        /// The document.
+        document: DocumentId,
+    },
+    /// Server → client: the user's annotations on a document.
+    Annotations {
+        /// The document.
+        document: DocumentId,
+        /// The remarks, oldest first.
+        notes: Vec<String>,
+    },
+
+    // ---- asynchronous mail (SMTP/MIME path) ----
+    /// Client → server: send mail to a tutor (or any address).
+    MailSend {
+        /// The message.
+        mail: MailMessage,
+    },
+    /// Client → server: fetch mailbox contents for an address.
+    MailFetch {
+        /// The mailbox owner address.
+        address: String,
+    },
+    /// Server → client: mailbox contents.
+    MailBox {
+        /// The messages.
+        messages: Vec<MailMessage>,
+    },
+}
+
+impl ServiceMsg {
+    /// Which protocol-stack path this message takes (Fig. 5 accounting).
+    pub fn stack_path(&self) -> StackPath {
+        match self {
+            ServiceMsg::RtpData { .. } => StackPath::MediaRtpUdp,
+            ServiceMsg::Feedback { .. } | ServiceMsg::RtcpSenderReport { .. } => {
+                StackPath::FeedbackRtcpUdp
+            }
+            ServiceMsg::MailSend { .. }
+            | ServiceMsg::MailFetch { .. }
+            | ServiceMsg::MailBox { .. } => StackPath::MailSmtp,
+            _ => StackPath::ControlTcp,
+        }
+    }
+}
+
+impl WireSize for ServiceMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            ServiceMsg::Connect { .. } => 64 + TCP_IP_OVERHEAD,
+            ServiceMsg::ConnectAck { .. } => 32 + TCP_IP_OVERHEAD,
+            ServiceMsg::ConnectReject { reason } => 16 + reason.len() + TCP_IP_OVERHEAD,
+            ServiceMsg::Subscribe { form, .. } => {
+                48 + form.name.len()
+                    + form.address.len()
+                    + form.telephone.len()
+                    + form.email.len()
+                    + TCP_IP_OVERHEAD
+            }
+            ServiceMsg::SubscribeAck { .. } => 24 + TCP_IP_OVERHEAD,
+            ServiceMsg::TopicList { topics, .. } => {
+                16 + topics
+                    .iter()
+                    .map(|t| 16 + t.title.len() + t.description.len())
+                    .sum::<usize>()
+                    + TCP_IP_OVERHEAD
+            }
+            ServiceMsg::DocRequest { .. } => 24 + TCP_IP_OVERHEAD,
+            ServiceMsg::ScenarioResponse { markup, .. } => 32 + markup.len() + TCP_IP_OVERHEAD,
+            ServiceMsg::DocError { reason, .. } => 16 + reason.len() + TCP_IP_OVERHEAD,
+            ServiceMsg::Pause { .. }
+            | ServiceMsg::Resume { .. }
+            | ServiceMsg::SuspendConnection { .. }
+            | ServiceMsg::ResumeSuspended { .. }
+            | ServiceMsg::SuspendExpired { .. }
+            | ServiceMsg::Disconnect { .. } => 16 + TCP_IP_OVERHEAD,
+            ServiceMsg::DisableStream { .. } | ServiceMsg::StreamStopped { .. } => {
+                24 + TCP_IP_OVERHEAD
+            }
+            ServiceMsg::StreamRegraded { .. } => 25 + TCP_IP_OVERHEAD,
+            ServiceMsg::RtpData { packet, .. } => packet.wire_size(),
+            ServiceMsg::DiscreteData { size, .. } => 24 + *size as usize + TCP_IP_OVERHEAD,
+            ServiceMsg::RtcpSenderReport { packet, .. } => packet.wire_size(),
+            ServiceMsg::Feedback {
+                measurements, rtcp, ..
+            } => 16 + measurements.len() * 48 + rtcp.iter().map(|r| r.wire_size()).sum::<usize>(),
+            ServiceMsg::Annotate { text, .. } => 32 + text.len() + TCP_IP_OVERHEAD,
+            ServiceMsg::AnnotationsFetch { .. } => 24 + TCP_IP_OVERHEAD,
+            ServiceMsg::Annotations { notes, .. } => {
+                16 + notes.iter().map(|n| 8 + n.len()).sum::<usize>() + TCP_IP_OVERHEAD
+            }
+            ServiceMsg::SearchRequest { token, .. } => 32 + token.len() + TCP_IP_OVERHEAD,
+            ServiceMsg::SearchFanout { token, .. } => 32 + token.len() + TCP_IP_OVERHEAD,
+            ServiceMsg::SearchPartial { hits, .. } => {
+                16 + hits.iter().map(|h| 24 + h.title.len()).sum::<usize>() + TCP_IP_OVERHEAD
+            }
+            ServiceMsg::SearchResponse { hits, .. } => {
+                24 + hits.iter().map(|h| 24 + h.title.len()).sum::<usize>() + TCP_IP_OVERHEAD
+            }
+            ServiceMsg::MailSend { mail } => mail.wire_bytes() + TCP_IP_OVERHEAD,
+            ServiceMsg::MailFetch { address } => 16 + address.len() + TCP_IP_OVERHEAD,
+            ServiceMsg::MailBox { messages } => {
+                16 + messages.iter().map(|m| m.wire_bytes()).sum::<usize>() + TCP_IP_OVERHEAD
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_rtp::PayloadType;
+
+    #[test]
+    fn stack_paths_classified() {
+        let rtp = ServiceMsg::RtpData {
+            session: SessionId::new(1),
+            component: ComponentId::new(1),
+            packet: RtpPacket::synthetic(PayloadType::Mpeg, true, 1, 2, 3, 100),
+            sent_at: MediaTime::ZERO,
+        };
+        assert_eq!(rtp.stack_path(), StackPath::MediaRtpUdp);
+        let fb = ServiceMsg::Feedback {
+            session: SessionId::new(1),
+            measurements: vec![],
+            rtcp: vec![],
+        };
+        assert_eq!(fb.stack_path(), StackPath::FeedbackRtcpUdp);
+        let mail = ServiceMsg::MailFetch {
+            address: "t@x".into(),
+        };
+        assert_eq!(mail.stack_path(), StackPath::MailSmtp);
+        let ctl = ServiceMsg::Pause {
+            session: SessionId::new(1),
+        };
+        assert_eq!(ctl.stack_path(), StackPath::ControlTcp);
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_content() {
+        let small = ServiceMsg::ScenarioResponse {
+            session: SessionId::new(1),
+            document: DocumentId::new(1),
+            markup: "x".into(),
+            lead_micros: 0,
+        };
+        let big = ServiceMsg::ScenarioResponse {
+            session: SessionId::new(1),
+            document: DocumentId::new(1),
+            markup: "x".repeat(10_000),
+            lead_micros: 0,
+        };
+        assert!(big.wire_size() > small.wire_size() + 9_000);
+        // RTP data is charged the RTP+UDP+IP cost.
+        let rtp = ServiceMsg::RtpData {
+            session: SessionId::new(1),
+            component: ComponentId::new(1),
+            packet: RtpPacket::synthetic(PayloadType::Pcm, true, 1, 2, 3, 160),
+            sent_at: MediaTime::ZERO,
+        };
+        assert_eq!(rtp.wire_size(), 160 + 12 + 28);
+    }
+
+    #[test]
+    fn mail_size_includes_attachments() {
+        let m = MailMessage {
+            from: "student@hermes".into(),
+            to: "tutor@hermes".into(),
+            subject: "question".into(),
+            body: "why".into(),
+            attachments: vec![("image/gif".into(), 5_000)],
+        };
+        assert!(m.wire_bytes() > 5_000);
+        let plain = MailMessage {
+            attachments: vec![],
+            ..m.clone()
+        };
+        assert!(m.wire_bytes() > plain.wire_bytes() + 4_900);
+    }
+}

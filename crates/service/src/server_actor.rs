@@ -1,0 +1,900 @@
+//! The multimedia (Hermes) server actor: session management, document
+//! delivery, media-server transmission loops, QoS feedback handling,
+//! distributed search and the mail service — everything on the left half of
+//! paper Fig. 3, driven by simulator messages and timers.
+
+use crate::protocol::{MailMessage, SearchHit, ServiceMsg};
+use crate::timers;
+use hermes_core::{
+    ComponentId, DocumentId, GradeDecision, GradeLevel, GradingHysteresis, GradingOrder,
+    MediaDuration, MediaKind, MediaTime, NodeId, PresentationFloor, PricingClass, ServerId,
+    SessionId, UserId,
+};
+use hermes_media::{CodecModel, FrameSource};
+use hermes_rtp::RtpSender;
+use hermes_server::{
+    compute_flow_scenario, AccountsDb, AdmissionController, AdmissionDecision, Charge,
+    ConnectionRequest, FlowConfig, FlowPlan, MultimediaDb, PathCondition, ServerQosManager,
+};
+use hermes_simnet::SimApi;
+use std::collections::BTreeMap;
+
+/// One active outgoing media stream of a session.
+#[derive(Debug)]
+pub struct StreamTx {
+    /// The transmission plan.
+    pub plan: FlowPlan,
+    /// The frame generator (owned by the media server).
+    pub source: FrameSource,
+    /// The RTP sender session.
+    pub sender: RtpSender,
+    /// Stream finished transmitting naturally.
+    pub done: bool,
+    /// Stream stopped by the grading engine.
+    pub stopped: bool,
+    /// Frames sent so far.
+    pub frames_sent: u64,
+    /// Payload bytes sent so far.
+    pub bytes_sent: u64,
+}
+
+/// One client session's server-side state.
+#[derive(Debug)]
+pub struct SessionState {
+    /// The client's node.
+    pub client: NodeId,
+    /// The authenticated user, once known.
+    pub user: Option<UserId>,
+    /// Pricing contract.
+    pub class: PricingClass,
+    /// The QoS manager/grading engine for this session's streams.
+    pub qos: ServerQosManager,
+    /// Active media transmissions by component.
+    pub streams: BTreeMap<ComponentId, StreamTx>,
+    /// The document being delivered.
+    pub current_doc: Option<DocumentId>,
+    /// Paused by the user.
+    pub paused: bool,
+    /// Suspended pending migration.
+    pub suspended: bool,
+    /// Connect time (for duration pricing).
+    pub connected_at: MediaTime,
+}
+
+/// A distributed search in progress.
+#[derive(Debug)]
+struct PendingQuery {
+    session: SessionId,
+    client: NodeId,
+    hits: Vec<SearchHit>,
+    awaiting: usize,
+}
+
+/// Configuration of a server actor.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Flow-scheduler lead configuration.
+    pub flow: FlowConfig,
+    /// Grading order policy (video-first per the paper).
+    pub grading_order: GradingOrder,
+    /// Grading hysteresis.
+    pub hysteresis: GradingHysteresis,
+    /// Presentation floors applied to admitted streams.
+    pub floor: PresentationFloor,
+    /// Grace period for suspended connections.
+    pub suspend_grace: MediaDuration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            flow: FlowConfig::default(),
+            grading_order: GradingOrder::default(),
+            hysteresis: GradingHysteresis::default(),
+            floor: PresentationFloor::default(),
+            suspend_grace: MediaDuration::from_secs(30),
+        }
+    }
+}
+
+/// The multimedia server actor.
+pub struct ServerActor {
+    /// The node this server runs on.
+    pub node: NodeId,
+    /// The server's logical id.
+    pub server_id: ServerId,
+    /// Document + media database.
+    pub db: MultimediaDb,
+    /// Subscribers and pricing.
+    pub accounts: AccountsDb,
+    /// Admission control.
+    pub admission: AdmissionController,
+    /// Configuration.
+    pub cfg: ServerConfig,
+    /// Live sessions.
+    pub sessions: BTreeMap<SessionId, SessionState>,
+    next_session: u64,
+    /// Other servers (for search fan-out), set by the world builder.
+    pub peers: Vec<NodeId>,
+    /// Tutor / user mailboxes by address.
+    pub mailboxes: BTreeMap<String, Vec<MailMessage>>,
+    /// Per-user document annotations (§5).
+    pub annotations: BTreeMap<(UserId, DocumentId), Vec<String>>,
+    queries: BTreeMap<u64, PendingQuery>,
+    /// Subscription forms processed here that the world must replicate.
+    pub pending_replications: Vec<(UserId, hermes_server::SubscriptionForm)>,
+}
+
+impl ServerActor {
+    /// Create a server actor for a node.
+    pub fn new(node: NodeId, server_id: ServerId, cfg: ServerConfig) -> Self {
+        ServerActor {
+            node,
+            server_id,
+            db: MultimediaDb::new(server_id),
+            accounts: AccountsDb::new(),
+            admission: AdmissionController::new(),
+            cfg,
+            sessions: BTreeMap::new(),
+            next_session: 1,
+            peers: Vec::new(),
+            mailboxes: BTreeMap::new(),
+            annotations: BTreeMap::new(),
+            queries: BTreeMap::new(),
+            pending_replications: Vec::new(),
+        }
+    }
+
+    /// Handle an incoming message addressed to this server.
+    pub fn on_message(&mut self, api: &mut SimApi<'_, ServiceMsg>, from: NodeId, msg: ServiceMsg) {
+        match msg {
+            ServiceMsg::Connect { user, class } => self.on_connect(api, from, user, class),
+            ServiceMsg::Subscribe { session, form } => self.on_subscribe(api, session, form),
+            ServiceMsg::DocRequest { session, document } => {
+                self.on_doc_request(api, session, document)
+            }
+            ServiceMsg::Feedback {
+                session,
+                measurements,
+                ..
+            } => self.on_feedback(api, session, &measurements),
+            ServiceMsg::Pause { session } => {
+                if let Some(s) = self.sessions.get_mut(&session) {
+                    s.paused = true;
+                }
+            }
+            ServiceMsg::Resume { session } => self.on_resume(api, session),
+            ServiceMsg::DisableStream { session, component } => {
+                if let Some(s) = self.sessions.get_mut(&session) {
+                    if let Some(tx) = s.streams.get_mut(&component) {
+                        tx.stopped = true;
+                    }
+                }
+            }
+            ServiceMsg::SuspendConnection { session } => {
+                if let Some(s) = self.sessions.get_mut(&session) {
+                    s.suspended = true;
+                    s.paused = true;
+                    api.set_timer(
+                        self.node,
+                        self.cfg.suspend_grace,
+                        timers::TK_GRACE,
+                        session.raw(),
+                    );
+                }
+            }
+            ServiceMsg::ResumeSuspended { session } => {
+                if let Some(s) = self.sessions.get_mut(&session) {
+                    if s.suspended {
+                        s.suspended = false;
+                        s.paused = false;
+                        let topics = self.db.topics().to_vec();
+                        let client = s.client;
+                        api.send_reliable(
+                            self.node,
+                            client,
+                            ServiceMsg::TopicList { session, topics },
+                        );
+                    }
+                }
+            }
+            ServiceMsg::Disconnect { session } => self.on_disconnect(api, session),
+            ServiceMsg::SearchRequest {
+                session,
+                token,
+                query,
+            } => self.on_search_request(api, session, token, query),
+            ServiceMsg::SearchFanout {
+                query,
+                token,
+                origin,
+            } => {
+                let hits = self.local_hits(&token);
+                api.send_reliable(self.node, origin, ServiceMsg::SearchPartial { query, hits });
+            }
+            ServiceMsg::SearchPartial { query, hits } => self.on_search_partial(api, query, hits),
+            ServiceMsg::Annotate {
+                session,
+                document,
+                text,
+            } => {
+                if let Some(user) = self.sessions.get(&session).and_then(|s| s.user) {
+                    self.annotations
+                        .entry((user, document))
+                        .or_default()
+                        .push(text);
+                }
+            }
+            ServiceMsg::AnnotationsFetch { session, document } => {
+                if let Some(sess) = self.sessions.get(&session) {
+                    if let Some(user) = sess.user {
+                        let notes = self
+                            .annotations
+                            .get(&(user, document))
+                            .cloned()
+                            .unwrap_or_default();
+                        api.send_reliable(
+                            self.node,
+                            sess.client,
+                            ServiceMsg::Annotations { document, notes },
+                        );
+                    }
+                }
+            }
+            ServiceMsg::MailSend { mail } => {
+                self.mailboxes
+                    .entry(mail.to.clone())
+                    .or_default()
+                    .push(mail);
+            }
+            ServiceMsg::MailFetch { address } => {
+                let messages = self.mailboxes.get(&address).cloned().unwrap_or_default();
+                api.send_reliable(self.node, from, ServiceMsg::MailBox { messages });
+            }
+            _ => { /* messages addressed to clients are ignored here */ }
+        }
+    }
+
+    /// Handle a timer addressed to this server.
+    pub fn on_timer(&mut self, api: &mut SimApi<'_, ServiceMsg>, key: u64, payload: u64) {
+        match key {
+            timers::TK_STREAM_START => {
+                let (session, component) = timers::unpack(payload);
+                self.start_stream(api, session, component);
+            }
+            timers::TK_FRAME => {
+                let (session, component) = timers::unpack(payload);
+                self.send_frame(api, session, component);
+            }
+            timers::TK_GRACE => {
+                let session = SessionId::new(payload);
+                let expired = self
+                    .sessions
+                    .get(&session)
+                    .map(|s| s.suspended)
+                    .unwrap_or(false);
+                if expired {
+                    let client = self.sessions[&session].client;
+                    self.teardown_session(api, session);
+                    api.send_reliable(self.node, client, ServiceMsg::SuspendExpired { session });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_connect(
+        &mut self,
+        api: &mut SimApi<'_, ServiceMsg>,
+        from: NodeId,
+        user: Option<UserId>,
+        class: PricingClass,
+    ) {
+        let session = SessionId::new(self.next_session);
+        self.next_session += 1;
+        let authorized = user
+            .map(|u| self.accounts.is_authorized(u))
+            .unwrap_or(false);
+        let now = api.now();
+        self.sessions.insert(
+            session,
+            SessionState {
+                client: from,
+                user: if authorized { user } else { None },
+                class,
+                qos: ServerQosManager::new(self.cfg.grading_order, self.cfg.hysteresis),
+                streams: BTreeMap::new(),
+                current_doc: None,
+                paused: false,
+                suspended: false,
+                connected_at: now,
+            },
+        );
+        if authorized {
+            let u = user.unwrap();
+            self.accounts.record_login(u, now);
+            self.accounts.charge(u, Charge::Connection);
+        }
+        api.send_reliable(
+            self.node,
+            from,
+            ServiceMsg::ConnectAck {
+                session,
+                must_subscribe: !authorized,
+            },
+        );
+        if authorized {
+            let topics = self.db.topics().to_vec();
+            api.send_reliable(self.node, from, ServiceMsg::TopicList { session, topics });
+        }
+    }
+
+    fn on_subscribe(
+        &mut self,
+        api: &mut SimApi<'_, ServiceMsg>,
+        session: SessionId,
+        form: hermes_server::SubscriptionForm,
+    ) {
+        let Some(s) = self.sessions.get_mut(&session) else {
+            return;
+        };
+        let user = self.accounts.subscribe(form.clone());
+        s.user = Some(user);
+        s.class = form.class;
+        let client = s.client;
+        self.accounts.record_login(user, api.now());
+        self.accounts.charge(user, Charge::Connection);
+        // The world replicates the form to every other server (§5).
+        self.pending_replications.push((user, form));
+        api.send_reliable(
+            self.node,
+            client,
+            ServiceMsg::SubscribeAck { session, user },
+        );
+        let topics = self.db.topics().to_vec();
+        api.send_reliable(self.node, client, ServiceMsg::TopicList { session, topics });
+    }
+
+    fn path_condition(&self, api: &SimApi<'_, ServiceMsg>, client: NodeId) -> PathCondition {
+        let now = api.now();
+        let net = api.net();
+        let links = net.path_links(self.node, client).unwrap_or_default();
+        let capacity = links
+            .iter()
+            .filter_map(|(a, b)| net.link(*a, *b))
+            .map(|l| l.spec.bandwidth_bps)
+            .min()
+            .unwrap_or(0);
+        let free = net.path_free_bandwidth(self.node, client, now).unwrap_or(0);
+        let prop: i64 = links
+            .iter()
+            .filter_map(|(a, b)| net.link(*a, *b))
+            .map(|l| l.spec.propagation.as_micros())
+            .sum();
+        PathCondition {
+            capacity_bps: capacity,
+            committed_bps: capacity.saturating_sub(free),
+            rtt: MediaDuration::from_micros(prop * 2 + 2_000),
+        }
+    }
+
+    fn on_doc_request(
+        &mut self,
+        api: &mut SimApi<'_, ServiceMsg>,
+        session: SessionId,
+        document: DocumentId,
+    ) {
+        let Some(s) = self.sessions.get(&session) else {
+            return;
+        };
+        let client = s.client;
+        let class = s.class;
+        let user = s.user;
+        let doc = match self.db.document(document) {
+            Ok(d) => d,
+            Err(e) => {
+                api.send_reliable(
+                    self.node,
+                    client,
+                    ServiceMsg::DocError {
+                        session,
+                        reason: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        let markup = doc.markup.clone();
+        let scenario = doc.scenario.clone();
+        let flow = compute_flow_scenario(&scenario, self.cfg.flow);
+
+        // Admission: evaluate the aggregate continuous bandwidth against the
+        // path to this client, weighted by the pricing contract.
+        let path = self.path_condition(api, client);
+        let mut requirement =
+            hermes_core::QosRequirement::continuous(flow.aggregate_bandwidth_bps(), 300, 0.05);
+        requirement.bandwidth_bps = flow.aggregate_bandwidth_bps();
+        let request = ConnectionRequest {
+            session,
+            class,
+            requirement,
+        };
+        // Release any previous document's reservation first.
+        if let Some(conn) = self.admission.release(session) {
+            api.net_mut().release(conn);
+        }
+        let (decision, conn) = self.admission.evaluate(&request, path);
+        match decision {
+            AdmissionDecision::Reject { reason } => {
+                api.send_reliable(self.node, client, ServiceMsg::DocError { session, reason });
+                return;
+            }
+            AdmissionDecision::Admit { reserved_bps } => {
+                let conn = conn.expect("admit without connection id");
+                if !api.net_mut().reserve(conn, self.node, client, reserved_bps) {
+                    self.admission.release(session);
+                    api.send_reliable(
+                        self.node,
+                        client,
+                        ServiceMsg::DocError {
+                            session,
+                            reason: "reservation failed on path".into(),
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+
+        if let Some(u) = user {
+            self.accounts.record_retrieval(u, document);
+            self.accounts.charge(u, Charge::Retrieval(document));
+        }
+
+        // Tear down any previous document's streams.
+        let s = self.sessions.get_mut(&session).unwrap();
+        s.streams.clear();
+        s.qos = ServerQosManager::new(self.cfg.grading_order, self.cfg.hysteresis);
+        s.current_doc = Some(document);
+        s.paused = false;
+
+        // Ship the presentation scenario.
+        api.send_reliable(
+            self.node,
+            client,
+            ServiceMsg::ScenarioResponse {
+                session,
+                document,
+                markup,
+                lead_micros: flow.lead.as_micros(),
+            },
+        );
+
+        // Activate the media servers: discrete media ship directly at their
+        // send start; continuous media get a transmission loop.
+        let floor = self.cfg.floor;
+        let now = api.now();
+        for plan in &flow.plans {
+            let delay = (plan.send_start - MediaTime::ZERO).max(MediaDuration::ZERO);
+            if plan.kind.is_continuous() {
+                let model = CodecModel::for_encoding(plan.encoding);
+                let stream_floor = match plan.kind {
+                    MediaKind::Audio => GradeLevel(floor.audio_floor),
+                    _ => GradeLevel(floor.video_floor),
+                };
+                let s = self.sessions.get_mut(&session).unwrap();
+                s.qos
+                    .register(plan.component, model, stream_floor, plan.requirement);
+                let object = self.db.store(plan.kind).get(&plan.source.object).cloned();
+                let Some(object) = object else {
+                    api.send_reliable(
+                        self.node,
+                        client,
+                        ServiceMsg::DocError {
+                            session,
+                            reason: format!("media object '{}' missing", plan.source.object),
+                        },
+                    );
+                    continue;
+                };
+                let source = object.open(plan.component, plan.duration);
+                let ssrc = ((session.raw() as u32) << 16) ^ plan.component.raw() as u32;
+                let s = self.sessions.get_mut(&session).unwrap();
+                s.streams.insert(
+                    plan.component,
+                    StreamTx {
+                        plan: plan.clone(),
+                        source,
+                        sender: RtpSender::new(ssrc, plan.encoding),
+                        done: false,
+                        stopped: false,
+                        frames_sent: 0,
+                        bytes_sent: 0,
+                    },
+                );
+                api.set_timer(
+                    self.node,
+                    delay,
+                    timers::TK_STREAM_START,
+                    timers::pack(session, plan.component),
+                );
+            } else {
+                // Discrete media: a single object over the reliable path at
+                // its send start.
+                let size = self
+                    .db
+                    .store(plan.kind)
+                    .get(&plan.source.object)
+                    .map(|o| {
+                        o.open(plan.component, plan.duration)
+                            .next_frame()
+                            .map(|f| f.size)
+                            .unwrap_or(0)
+                    })
+                    .unwrap_or_else(|| {
+                        CodecModel::for_encoding(plan.encoding)
+                            .level(GradeLevel::NOMINAL)
+                            .mean_frame_bytes
+                    });
+                let component = plan.component;
+                api.set_timer(
+                    self.node,
+                    delay,
+                    timers::TK_DISCRETE,
+                    timers::pack(session, component),
+                );
+                // Stash the size in the session for the timer to pick up.
+                let s = self.sessions.get_mut(&session).unwrap();
+                s.streams.insert(
+                    component,
+                    StreamTx {
+                        plan: plan.clone(),
+                        source: FrameSource::new(
+                            component,
+                            plan.encoding,
+                            size as u64,
+                            plan.duration.max(MediaDuration::from_millis(1)),
+                        ),
+                        sender: RtpSender::new(0, plan.encoding),
+                        done: false,
+                        stopped: false,
+                        frames_sent: 0,
+                        bytes_sent: 0,
+                    },
+                );
+            }
+        }
+        let _ = now;
+    }
+
+    fn start_stream(
+        &mut self,
+        api: &mut SimApi<'_, ServiceMsg>,
+        session: SessionId,
+        component: ComponentId,
+    ) {
+        // The first frame goes out immediately; the chain continues in
+        // send_frame.
+        self.send_frame(api, session, component);
+    }
+
+    /// Send one discrete object (timer TK_DISCRETE).
+    pub(crate) fn send_discrete(
+        &mut self,
+        api: &mut SimApi<'_, ServiceMsg>,
+        session: SessionId,
+        component: ComponentId,
+    ) {
+        let Some(s) = self.sessions.get_mut(&session) else {
+            return;
+        };
+        if s.paused || s.suspended {
+            // Retry after a pause-poll interval.
+            api.set_timer(
+                self.node,
+                MediaDuration::from_millis(200),
+                timers::TK_DISCRETE,
+                timers::pack(session, component),
+            );
+            return;
+        }
+        let client = s.client;
+        let Some(tx) = s.streams.get_mut(&component) else {
+            return;
+        };
+        if tx.done || tx.stopped {
+            return;
+        }
+        let total = tx
+            .source
+            .clone()
+            .next_frame()
+            .map(|f| f.size)
+            .unwrap_or(10_000);
+        tx.done = true;
+        tx.frames_sent = 1;
+        tx.bytes_sent = total as u64;
+        let now = api.now();
+        // Segment to MTU-sized chunks, as TCP would.
+        const SEGMENT: u32 = 1_400;
+        let mut remaining = total;
+        loop {
+            let size = remaining.min(SEGMENT);
+            remaining -= size;
+            let last = remaining == 0;
+            api.send_reliable(
+                self.node,
+                client,
+                ServiceMsg::DiscreteData {
+                    session,
+                    component,
+                    size,
+                    total,
+                    last,
+                    sent_at: now,
+                },
+            );
+            if last {
+                break;
+            }
+        }
+    }
+
+    fn send_frame(
+        &mut self,
+        api: &mut SimApi<'_, ServiceMsg>,
+        session: SessionId,
+        component: ComponentId,
+    ) {
+        let Some(s) = self.sessions.get_mut(&session) else {
+            return;
+        };
+        if s.suspended {
+            return; // resumes re-arm the chain
+        }
+        if s.paused {
+            // Poll until resumed (resume also re-arms immediately).
+            api.set_timer(
+                self.node,
+                MediaDuration::from_millis(100),
+                timers::TK_FRAME,
+                timers::pack(session, component),
+            );
+            return;
+        }
+        let client = s.client;
+        let Some(tx) = s.streams.get_mut(&component) else {
+            return;
+        };
+        if tx.done || tx.stopped {
+            return;
+        }
+        match tx.source.next_frame() {
+            Some(frame) => {
+                tx.frames_sent += 1;
+                tx.bytes_sent += frame.size as u64;
+                let now = api.now();
+                for packet in tx.sender.packetize(&frame) {
+                    api.send(
+                        self.node,
+                        client,
+                        ServiceMsg::RtpData {
+                            session,
+                            component,
+                            packet,
+                            sent_at: now,
+                        },
+                    );
+                }
+                // Periodic RTCP sender report (RFC 3550): every 64 frames.
+                if tx.frames_sent % 64 == 1 {
+                    let sr = tx.sender.sender_report(now);
+                    api.send(
+                        self.node,
+                        client,
+                        ServiceMsg::RtcpSenderReport {
+                            session,
+                            component,
+                            packet: sr,
+                        },
+                    );
+                }
+                let period = tx.source.model().level(tx.source.level()).frame_period();
+                api.set_timer(
+                    self.node,
+                    period,
+                    timers::TK_FRAME,
+                    timers::pack(session, component),
+                );
+            }
+            None => {
+                tx.done = true;
+            }
+        }
+    }
+
+    fn on_feedback(
+        &mut self,
+        api: &mut SimApi<'_, ServiceMsg>,
+        session: SessionId,
+        measurements: &[(ComponentId, hermes_core::QosMeasurement)],
+    ) {
+        let Some(s) = self.sessions.get_mut(&session) else {
+            return;
+        };
+        let client = s.client;
+        let actions = s.qos.on_feedback(measurements);
+        for act in actions {
+            if let Some(tx) = s.streams.get_mut(&act.component) {
+                match act.decision {
+                    GradeDecision::Degrade | GradeDecision::Upgrade => {
+                        tx.source.set_level(act.new_level);
+                        if tx.stopped && !act.stopped {
+                            // Restarted after a stop: re-arm the chain.
+                            tx.stopped = false;
+                            api.set_timer(
+                                self.node,
+                                MediaDuration::ZERO,
+                                timers::TK_FRAME,
+                                timers::pack(session, act.component),
+                            );
+                        }
+                        api.send_reliable(
+                            self.node,
+                            client,
+                            ServiceMsg::StreamRegraded {
+                                session,
+                                component: act.component,
+                                level: act.new_level.0,
+                            },
+                        );
+                    }
+                    GradeDecision::Stop => {
+                        tx.stopped = true;
+                        api.send_reliable(
+                            self.node,
+                            client,
+                            ServiceMsg::StreamStopped {
+                                session,
+                                component: act.component,
+                            },
+                        );
+                    }
+                    GradeDecision::Hold => {}
+                }
+            }
+        }
+    }
+
+    fn on_resume(&mut self, api: &mut SimApi<'_, ServiceMsg>, session: SessionId) {
+        let Some(s) = self.sessions.get_mut(&session) else {
+            return;
+        };
+        if !s.paused {
+            return;
+        }
+        s.paused = false;
+        let components: Vec<ComponentId> = s
+            .streams
+            .iter()
+            .filter(|(_, tx)| !tx.done && !tx.stopped)
+            .map(|(c, _)| *c)
+            .collect();
+        for c in components {
+            api.set_timer(
+                self.node,
+                MediaDuration::ZERO,
+                timers::TK_FRAME,
+                timers::pack(session, c),
+            );
+        }
+    }
+
+    fn teardown_session(&mut self, api: &mut SimApi<'_, ServiceMsg>, session: SessionId) {
+        if let Some(conn) = self.admission.release(session) {
+            api.net_mut().release(conn);
+        }
+        self.sessions.remove(&session);
+    }
+
+    fn on_disconnect(&mut self, api: &mut SimApi<'_, ServiceMsg>, session: SessionId) {
+        let now = api.now();
+        if let Some(s) = self.sessions.get(&session) {
+            if let Some(u) = s.user {
+                let dur = now - s.connected_at;
+                let bytes: u64 = s.streams.values().map(|t| t.bytes_sent).sum();
+                self.accounts.charge(u, Charge::Duration(dur));
+                self.accounts.charge(u, Charge::Volume(bytes));
+            }
+        }
+        self.teardown_session(api, session);
+    }
+
+    fn local_hits(&self, token: &str) -> Vec<SearchHit> {
+        self.db
+            .search(token)
+            .into_iter()
+            .map(|(document, title)| SearchHit {
+                server: self.server_id,
+                document,
+                title,
+            })
+            .collect()
+    }
+
+    fn on_search_request(
+        &mut self,
+        api: &mut SimApi<'_, ServiceMsg>,
+        session: SessionId,
+        token: String,
+        query: u64,
+    ) {
+        let Some(s) = self.sessions.get(&session) else {
+            return;
+        };
+        let client = s.client;
+        let hits = self.local_hits(&token);
+        if self.peers.is_empty() {
+            api.send_reliable(
+                self.node,
+                client,
+                ServiceMsg::SearchResponse {
+                    session,
+                    query,
+                    hits,
+                },
+            );
+            return;
+        }
+        self.queries.insert(
+            query,
+            PendingQuery {
+                session,
+                client,
+                hits,
+                awaiting: self.peers.len(),
+            },
+        );
+        // "this particular server sends the query to all other Hermes
+        // servers for the same reason" (§6.2.2).
+        for peer in self.peers.clone() {
+            api.send_reliable(
+                self.node,
+                peer,
+                ServiceMsg::SearchFanout {
+                    query,
+                    token: token.clone(),
+                    origin: self.node,
+                },
+            );
+        }
+    }
+
+    fn on_search_partial(
+        &mut self,
+        api: &mut SimApi<'_, ServiceMsg>,
+        query: u64,
+        hits: Vec<SearchHit>,
+    ) {
+        let done = {
+            let Some(q) = self.queries.get_mut(&query) else {
+                return;
+            };
+            q.hits.extend(hits);
+            q.awaiting -= 1;
+            q.awaiting == 0
+        };
+        if done {
+            let q = self.queries.remove(&query).unwrap();
+            api.send_reliable(
+                self.node,
+                q.client,
+                ServiceMsg::SearchResponse {
+                    session: q.session,
+                    query,
+                    hits: q.hits,
+                },
+            );
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Timer-key constants and payload packing shared by the actors.
+
+use hermes_core::{ComponentId, SessionId};
+
+/// Server: a media stream's transmission begins (flow-scenario send start).
+pub const TK_STREAM_START: u64 = 1;
+/// Server: send the next frame of a stream.
+pub const TK_FRAME: u64 = 2;
+/// Server: a suspended connection's grace period check.
+pub const TK_GRACE: u64 = 3;
+/// Server: ship a discrete media object.
+pub const TK_DISCRETE: u64 = 4;
+/// Client: periodic feedback report.
+pub const TK_FEEDBACK: u64 = 10;
+/// Client: playout tick.
+pub const TK_TICK: u64 = 11;
+/// Client: prefill/priming check before starting the presentation.
+pub const TK_PRIME: u64 = 12;
+
+/// Pack a (session, component) pair into one timer payload.
+pub fn pack(session: SessionId, component: ComponentId) -> u64 {
+    debug_assert!(session.raw() < (1 << 32) && component.raw() < (1 << 32));
+    (session.raw() << 32) | component.raw()
+}
+
+/// Unpack a timer payload into (session, component).
+pub fn unpack(payload: u64) -> (SessionId, ComponentId) {
+    (
+        SessionId::new(payload >> 32),
+        ComponentId::new(payload & 0xFFFF_FFFF),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let s = SessionId::new(123_456);
+        let c = ComponentId::new(789);
+        assert_eq!(unpack(pack(s, c)), (s, c));
+        assert_eq!(
+            unpack(pack(SessionId::new(0), ComponentId::new(0))),
+            (SessionId::new(0), ComponentId::new(0))
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! The service world: actors + topology over the simulated network, and the
+//! `App` glue dispatching messages and timers to them.
+
+use crate::client_actor::{ClientActor, ClientConfig};
+use crate::protocol::{ServiceMsg, StackPath};
+use crate::server_actor::{ServerActor, ServerConfig};
+use hermes_core::{NodeId, ServerId};
+use hermes_simnet::{App, LinkSpec, Network, Sim, SimApi, SimRng, WireSize};
+use std::collections::BTreeMap;
+
+/// All actors of a running service deployment.
+pub struct ServiceWorld {
+    /// Multimedia servers by node.
+    pub servers: BTreeMap<NodeId, ServerActor>,
+    /// Browsers by node.
+    pub clients: BTreeMap<NodeId, ClientActor>,
+    /// Per-stack-path delivery accounting (packets, bytes) — the FIG5
+    /// experiment's raw data.
+    pub stack_bytes: BTreeMap<StackPath, (u64, u64)>,
+    /// The service's server catalog: "a list of available Hermes servers is
+    /// provided. For every Hermes server, a small description concerning the
+    /// kind of lessons that are stored in it" (§6.2.1).
+    pub catalog: Vec<(ServerId, NodeId, String)>,
+}
+
+impl ServiceWorld {
+    /// The server actor on a node.
+    pub fn server(&self, node: NodeId) -> &ServerActor {
+        &self.servers[&node]
+    }
+    /// Mutable server access.
+    pub fn server_mut(&mut self, node: NodeId) -> &mut ServerActor {
+        self.servers.get_mut(&node).unwrap()
+    }
+    /// The client actor on a node.
+    pub fn client(&self, node: NodeId) -> &ClientActor {
+        &self.clients[&node]
+    }
+    /// Mutable client access.
+    pub fn client_mut(&mut self, node: NodeId) -> &mut ClientActor {
+        self.clients.get_mut(&node).unwrap()
+    }
+
+    /// Replicate freshly processed subscription forms to every server's
+    /// user database ("this form is transmitted to every server of the
+    /// service", §5).
+    fn replicate_subscriptions(&mut self) {
+        let mut pending = Vec::new();
+        for s in self.servers.values_mut() {
+            pending.append(&mut s.pending_replications);
+        }
+        for (user, form) in pending {
+            for s in self.servers.values_mut() {
+                s.accounts.register_replica(user, form.clone());
+            }
+        }
+    }
+}
+
+impl App<ServiceMsg> for ServiceWorld {
+    fn on_message(
+        &mut self,
+        api: &mut SimApi<'_, ServiceMsg>,
+        node: NodeId,
+        from: NodeId,
+        msg: ServiceMsg,
+    ) {
+        let e = self.stack_bytes.entry(msg.stack_path()).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += msg.wire_size() as u64;
+        if let Some(server) = self.servers.get_mut(&node) {
+            server.on_message(api, from, msg);
+            self.replicate_subscriptions();
+        } else if let Some(client) = self.clients.get_mut(&node) {
+            client.on_message(api, from, msg);
+        }
+    }
+
+    fn on_timer(&mut self, api: &mut SimApi<'_, ServiceMsg>, node: NodeId, key: u64, payload: u64) {
+        if let Some(server) = self.servers.get_mut(&node) {
+            if key == crate::timers::TK_DISCRETE {
+                let (session, component) = crate::timers::unpack(payload);
+                server.send_discrete(api, session, component);
+            } else {
+                server.on_timer(api, key, payload);
+            }
+        } else if let Some(client) = self.clients.get_mut(&node) {
+            client.on_timer(api, key, payload);
+        }
+    }
+}
+
+/// Builder for service deployments over star/backbone topologies.
+pub struct WorldBuilder {
+    net: Network,
+    world: ServiceWorld,
+    rng: SimRng,
+    next_node: u64,
+    backbone: NodeId,
+    server_nodes: Vec<NodeId>,
+    directory: BTreeMap<ServerId, NodeId>,
+}
+
+impl WorldBuilder {
+    /// Start a deployment: a backbone switch node everything hangs off.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut net = Network::new();
+        let backbone = NodeId::new(0);
+        net.add_node(backbone, "backbone");
+        let _ = &mut rng;
+        WorldBuilder {
+            net,
+            world: ServiceWorld {
+                servers: BTreeMap::new(),
+                clients: BTreeMap::new(),
+                stack_bytes: BTreeMap::new(),
+                catalog: Vec::new(),
+            },
+            rng,
+            next_node: 1,
+            backbone,
+            server_nodes: Vec::new(),
+            directory: BTreeMap::new(),
+        }
+    }
+
+    fn alloc_node(&mut self, name: &str) -> NodeId {
+        let id = NodeId::new(self.next_node);
+        self.next_node += 1;
+        self.net.add_node(id, name);
+        id
+    }
+
+    /// Add a multimedia server attached to the backbone by `link`.
+    pub fn add_server(&mut self, server_id: ServerId, link: LinkSpec, cfg: ServerConfig) -> NodeId {
+        self.add_server_described(server_id, link, cfg, "general hypermedia server")
+    }
+
+    /// Add a server with a catalog description ("the kind of lessons that
+    /// are stored in it", §6.2.1).
+    pub fn add_server_described(
+        &mut self,
+        server_id: ServerId,
+        link: LinkSpec,
+        cfg: ServerConfig,
+        description: impl Into<String>,
+    ) -> NodeId {
+        let node = self.alloc_node(&format!("server-{}", server_id.raw()));
+        self.net
+            .add_duplex(self.backbone, node, link, &mut self.rng);
+        let actor = ServerActor::new(node, server_id, cfg);
+        self.world.servers.insert(node, actor);
+        self.server_nodes.push(node);
+        self.directory.insert(server_id, node);
+        self.world
+            .catalog
+            .push((server_id, node, description.into()));
+        node
+    }
+
+    /// Add a client attached to the backbone by `link` (the client's access
+    /// link — congestion profiles on it drive most experiments).
+    pub fn add_client(&mut self, link: LinkSpec, cfg: ClientConfig) -> NodeId {
+        let node = self.alloc_node(&format!("client-{}", self.next_node));
+        self.net
+            .add_duplex(self.backbone, node, link, &mut self.rng);
+        let actor = ClientActor::new(node, cfg);
+        self.world.clients.insert(node, actor);
+        node
+    }
+
+    /// Direct access to the network under construction (e.g. to set
+    /// congestion profiles on specific links).
+    pub fn net_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// The backbone node id.
+    pub fn backbone(&self) -> NodeId {
+        self.backbone
+    }
+
+    /// Finish: wire peer lists + directories, compute routes, build the Sim.
+    pub fn build(mut self, seed: u64) -> Sim<ServiceMsg, ServiceWorld> {
+        let peers: Vec<NodeId> = self.server_nodes.clone();
+        for s in self.world.servers.values_mut() {
+            s.peers = peers.iter().copied().filter(|n| *n != s.node).collect();
+        }
+        for c in self.world.clients.values_mut() {
+            c.directory = self.directory.clone();
+        }
+        self.net.compute_routes();
+        Sim::new(self.net, self.world, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_wires_topology() {
+        let mut b = WorldBuilder::new(1);
+        let s1 = b.add_server(
+            ServerId::new(0),
+            LinkSpec::lan(10_000_000),
+            ServerConfig::default(),
+        );
+        let s2 = b.add_server(
+            ServerId::new(1),
+            LinkSpec::lan(10_000_000),
+            ServerConfig::default(),
+        );
+        let c = b.add_client(LinkSpec::lan(10_000_000), ClientConfig::default());
+        let sim = b.build(1);
+        // Routes exist between the client and both servers.
+        assert!(sim.net().path(c, s1).is_some());
+        assert!(sim.net().path(c, s2).is_some());
+        // Peers exclude self.
+        assert_eq!(sim.app().server(s1).peers, vec![s2]);
+        assert_eq!(sim.app().server(s2).peers, vec![s1]);
+        // Directory maps both servers.
+        assert_eq!(sim.app().client(c).directory.len(), 2);
+    }
+}

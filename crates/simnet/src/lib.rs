@@ -1,0 +1,30 @@
+//! # hermes-simnet
+//!
+//! A deterministic discrete-event network simulator — the "broadband
+//! network" substrate the paper's testbed provided. The service's mechanisms
+//! (prefill windows, skew control, media grading, admission) all react to
+//! delay, jitter and loss; this crate generates those with controlled,
+//! seedable distributions:
+//!
+//! * [`rng`] — seeded RNG with normal/exponential/Pareto sampling;
+//! * [`models`] — jitter models, loss models (Bernoulli, Gilbert–Elliott)
+//!   and background-congestion profiles;
+//! * [`topology`] — nodes, bandwidth-limited queued links, static routing
+//!   and per-connection bandwidth reservations;
+//! * [`sim`] — the event engine with datagram and reliable transports
+//!   (store-and-forward, per-hop queueing, ARQ with backoff);
+//! * [`metrics`] — accumulators, histograms and rate meters.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod models;
+pub mod rng;
+pub mod sim;
+pub mod topology;
+
+pub use metrics::{Accumulator, DurationHistogram, RateMeter};
+pub use models::{CongestionEpoch, CongestionProfile, JitterModel, LossModel, LossState};
+pub use rng::SimRng;
+pub use sim::{App, Sim, SimApi, SimConfig, SimStats, Transport, WireSize};
+pub use topology::{Link, LinkOutcome, LinkSpec, LinkStats, Network};

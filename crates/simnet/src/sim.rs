@@ -1,0 +1,772 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine is generic over the application's message type `M` and an
+//! [`App`] implementation that reacts to message deliveries and timers. All
+//! the service actors (multimedia servers, media servers, browsers) are
+//! driven through these two callbacks, so an entire client–server session is
+//! one deterministic, seedable event sequence.
+//!
+//! Two transports are provided, matching the paper's protocol stack
+//! (Fig. 5):
+//!
+//! * **datagram** (`UDP`-like) — packets individually subject to the link
+//!   loss/jitter models; used by RTP media flows;
+//! * **reliable** (`TCP`-like) — lost packets are retransmitted after an
+//!   RTO with exponential backoff, and delivery to the application is
+//!   in-order per (source, destination) pair; used for scenarios, discrete
+//!   media and control traffic.
+//!
+//! Packets are forwarded store-and-forward hop by hop along the static
+//! shortest path, so queueing interacts correctly between flows sharing a
+//! link.
+
+use crate::rng::SimRng;
+use crate::topology::{LinkOutcome, Network};
+use hermes_core::{MediaDuration, MediaTime, NodeId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Anything sent through the network must report its wire size.
+pub trait WireSize {
+    /// Serialized size in bytes (headers included).
+    fn wire_size(&self) -> usize;
+}
+
+/// The application driven by the simulator.
+pub trait App<M>: Sized {
+    /// A message arrived at `node` from `from`.
+    fn on_message(&mut self, api: &mut SimApi<'_, M>, node: NodeId, from: NodeId, msg: M);
+    /// A timer set with [`SimApi::set_timer`] fired at `node`.
+    fn on_timer(&mut self, api: &mut SimApi<'_, M>, node: NodeId, key: u64, payload: u64);
+}
+
+/// Which transport a message used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Lossy datagram service.
+    Datagram,
+    /// Retransmitting, in-order stream service.
+    Reliable,
+}
+
+enum Pending<M> {
+    /// A packet sitting at `path[hop]`, about to cross to `path[hop + 1]`.
+    Hop {
+        path: Vec<NodeId>,
+        hop: usize,
+        from: NodeId,
+        msg: M,
+        transport: Transport,
+        attempt: u32,
+        sent_at: MediaTime,
+        /// Reliable-stream sequence number (None for datagrams).
+        seq_no: Option<u64>,
+    },
+    /// Final delivery to the application.
+    Deliver { node: NodeId, from: NodeId, msg: M },
+    /// A timer.
+    Timer {
+        node: NodeId,
+        key: u64,
+        payload: u64,
+    },
+}
+
+struct Scheduled<M> {
+    at: MediaTime,
+    seq: u64,
+    pending: Pending<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Engine-level delivery counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Messages handed to the application.
+    pub delivered: u64,
+    /// Datagrams dropped in flight (loss or queue overflow).
+    pub datagrams_dropped: u64,
+    /// Reliable retransmission attempts performed.
+    pub retransmissions: u64,
+    /// Reliable messages abandoned after exhausting retries.
+    pub reliable_failures: u64,
+    /// Timers fired.
+    pub timers_fired: u64,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Base retransmission timeout for the reliable transport.
+    pub rto: MediaDuration,
+    /// Maximum reliable transmission attempts (1 = no retries).
+    pub max_attempts: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            rto: MediaDuration::from_millis(200),
+            max_attempts: 8,
+        }
+    }
+}
+
+struct Core<M> {
+    now: MediaTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Scheduled<M>>>,
+    net: Network,
+    rng: SimRng,
+    cfg: SimConfig,
+    stats: SimStats,
+    /// Next sequence number to assign per reliable (src, dst) pair.
+    reliable_tx: HashMap<(NodeId, NodeId), u64>,
+    /// Next sequence number to release per reliable (src, dst) pair.
+    reliable_rx: HashMap<(NodeId, NodeId), u64>,
+    /// Out-of-order arrivals held back until their predecessors land.
+    reliable_hold: HashMap<(NodeId, NodeId), std::collections::BTreeMap<u64, M>>,
+    /// Monotone delivery clock per reliable pair: per-packet jitter must not
+    /// reorder deliveries that the sequence gate already released.
+    reliable_release: HashMap<(NodeId, NodeId), MediaTime>,
+}
+
+impl<M: WireSize + Clone> Core<M> {
+    /// Schedule a reliable delivery no earlier than every previously
+    /// released delivery of the same (src, dst) pair.
+    fn schedule_reliable_delivery(
+        &mut self,
+        from: NodeId,
+        dst: NodeId,
+        arrival: MediaTime,
+        msg: M,
+    ) {
+        let slot = self
+            .reliable_release
+            .entry((from, dst))
+            .or_insert(MediaTime::ZERO);
+        let at = arrival.max(*slot + MediaDuration::from_micros(1));
+        *slot = at;
+        self.schedule(
+            at,
+            Pending::Deliver {
+                node: dst,
+                from,
+                msg,
+            },
+        );
+    }
+
+    fn schedule(&mut self, at: MediaTime, pending: Pending<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, pending }));
+    }
+
+    fn start_send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        transport: Transport,
+        attempt: u32,
+    ) -> bool {
+        if from == to {
+            // Local delivery: still asynchronous (next event), zero delay.
+            let now = self.now;
+            self.schedule(
+                now,
+                Pending::Deliver {
+                    node: to,
+                    from,
+                    msg,
+                },
+            );
+            return true;
+        }
+        let Some(path) = self.net.path(from, to) else {
+            return false;
+        };
+        let seq_no = match transport {
+            Transport::Datagram => None,
+            Transport::Reliable => {
+                let c = self.reliable_tx.entry((from, to)).or_insert(0);
+                let s = *c;
+                *c += 1;
+                Some(s)
+            }
+        };
+        let now = self.now;
+        self.schedule(
+            now,
+            Pending::Hop {
+                path,
+                hop: 0,
+                from,
+                msg,
+                transport,
+                attempt,
+                sent_at: now,
+                seq_no,
+            },
+        );
+        true
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn process_hop(
+        &mut self,
+        path: Vec<NodeId>,
+        hop: usize,
+        from: NodeId,
+        msg: M,
+        transport: Transport,
+        attempt: u32,
+        sent_at: MediaTime,
+        seq_no: Option<u64>,
+    ) {
+        let here = path[hop];
+        let next = path[hop + 1];
+        let size = msg.wire_size();
+        let now = self.now;
+        let outcome = match self.net.link_mut(here, next) {
+            Some(link) => link.transmit(now, size),
+            None => LinkOutcome::QueueFull, // topology changed mid-flight
+        };
+        match outcome {
+            LinkOutcome::Delivered { arrival } => {
+                if hop + 2 == path.len() {
+                    // Reached the destination node.
+                    let dst = *path.last().unwrap();
+                    match (transport, seq_no) {
+                        (Transport::Datagram, _) | (Transport::Reliable, None) => {
+                            self.schedule(
+                                arrival,
+                                Pending::Deliver {
+                                    node: dst,
+                                    from,
+                                    msg,
+                                },
+                            );
+                        }
+                        (Transport::Reliable, Some(seq)) => {
+                            // In-order release: deliver if this is the next
+                            // expected sequence number, then flush any held
+                            // successors; otherwise hold.
+                            let next = self.reliable_rx.entry((from, dst)).or_insert(0);
+                            if seq == *next {
+                                *next += 1;
+                                self.schedule_reliable_delivery(from, dst, arrival, msg);
+                                let mut expected = *self.reliable_rx.get(&(from, dst)).unwrap();
+                                let mut flushed = Vec::new();
+                                if let Some(held) = self.reliable_hold.get_mut(&(from, dst)) {
+                                    while let Some(m) = held.remove(&expected) {
+                                        flushed.push(m);
+                                        expected += 1;
+                                    }
+                                    self.reliable_rx.insert((from, dst), expected);
+                                }
+                                for m in flushed {
+                                    self.schedule_reliable_delivery(from, dst, arrival, m);
+                                }
+                            } else if seq > *next {
+                                self.reliable_hold
+                                    .entry((from, dst))
+                                    .or_default()
+                                    .insert(seq, msg);
+                            }
+                            // seq < next: stale duplicate; drop silently.
+                        }
+                    }
+                } else {
+                    self.schedule(
+                        arrival,
+                        Pending::Hop {
+                            path,
+                            hop: hop + 1,
+                            from,
+                            msg,
+                            transport,
+                            attempt,
+                            sent_at,
+                            seq_no,
+                        },
+                    );
+                }
+            }
+            LinkOutcome::Lost { .. } | LinkOutcome::QueueFull => match transport {
+                Transport::Datagram => {
+                    self.stats.datagrams_dropped += 1;
+                }
+                Transport::Reliable => {
+                    if attempt + 1 >= self.cfg.max_attempts {
+                        self.stats.reliable_failures += 1;
+                    } else {
+                        self.stats.retransmissions += 1;
+                        // Exponential backoff from the original send time.
+                        let backoff = self.cfg.rto * (1 << attempt.min(6)) as i64;
+                        let retry_at = self.now + backoff;
+                        let dst = *path.last().unwrap();
+                        self.schedule(
+                            retry_at,
+                            Pending::Hop {
+                                path: self.net.path(from, dst).unwrap_or(path),
+                                hop: 0,
+                                from,
+                                msg,
+                                transport,
+                                attempt: attempt + 1,
+                                sent_at,
+                                seq_no,
+                            },
+                        );
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// The simulator: owns the application, the network and the event queue.
+pub struct Sim<M, A> {
+    app: A,
+    core: Core<M>,
+}
+
+/// The capability handle passed to application callbacks.
+pub struct SimApi<'a, M> {
+    core: &'a mut Core<M>,
+}
+
+impl<'a, M: WireSize + Clone> SimApi<'a, M> {
+    /// Current simulation time.
+    pub fn now(&self) -> MediaTime {
+        self.core.now
+    }
+    /// Send a datagram. Returns false if no route exists.
+    pub fn send(&mut self, from: NodeId, to: NodeId, msg: M) -> bool {
+        self.core.start_send(from, to, msg, Transport::Datagram, 0)
+    }
+    /// Send reliably (retransmitted, delivered in order per src/dst pair).
+    pub fn send_reliable(&mut self, from: NodeId, to: NodeId, msg: M) -> bool {
+        self.core.start_send(from, to, msg, Transport::Reliable, 0)
+    }
+    /// Arrange for `on_timer(node, key, payload)` after `delay`.
+    pub fn set_timer(&mut self, node: NodeId, delay: MediaDuration, key: u64, payload: u64) {
+        let at = self.core.now + delay.max(MediaDuration::ZERO);
+        self.core
+            .schedule(at, Pending::Timer { node, key, payload });
+    }
+    /// The shared RNG (application-level randomness draws from the same
+    /// seeded stream, keeping whole runs reproducible).
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.core.rng
+    }
+    /// Read-only network access (utilization queries, link stats).
+    pub fn net(&self) -> &Network {
+        &self.core.net
+    }
+    /// Mutable network access (reservations, condition changes).
+    pub fn net_mut(&mut self) -> &mut Network {
+        &mut self.core.net
+    }
+    /// Engine counters so far.
+    pub fn stats(&self) -> SimStats {
+        self.core.stats
+    }
+}
+
+impl<M: WireSize + Clone, A: App<M>> Sim<M, A> {
+    /// Build a simulator from a network, an app and a seed.
+    pub fn new(net: Network, app: A, seed: u64) -> Self {
+        Sim::with_config(net, app, seed, SimConfig::default())
+    }
+
+    /// Build with explicit engine configuration.
+    pub fn with_config(net: Network, app: A, seed: u64, cfg: SimConfig) -> Self {
+        Sim {
+            app,
+            core: Core {
+                now: MediaTime::ZERO,
+                seq: 0,
+                heap: BinaryHeap::new(),
+                net,
+                rng: SimRng::seed_from_u64(seed),
+                cfg,
+                stats: SimStats::default(),
+                reliable_tx: HashMap::new(),
+                reliable_rx: HashMap::new(),
+                reliable_hold: HashMap::new(),
+                reliable_release: HashMap::new(),
+            },
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> MediaTime {
+        self.core.now
+    }
+    /// The application (for inspection between runs).
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+    /// Mutable application access.
+    pub fn app_mut(&mut self) -> &mut A {
+        &mut self.app
+    }
+    /// Engine counters.
+    pub fn stats(&self) -> SimStats {
+        self.core.stats
+    }
+    /// Network access.
+    pub fn net(&self) -> &Network {
+        &self.core.net
+    }
+    /// Mutable network access.
+    pub fn net_mut(&mut self) -> &mut Network {
+        &mut self.core.net
+    }
+
+    /// Run app code "from outside" (initial kicks, mid-run interventions).
+    pub fn with_api<R>(&mut self, f: impl FnOnce(&mut A, &mut SimApi<'_, M>) -> R) -> R {
+        let mut api = SimApi {
+            core: &mut self.core,
+        };
+        f(&mut self.app, &mut api)
+    }
+
+    /// Process a single event. Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.core.heap.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.core.now, "time went backwards");
+        self.core.now = ev.at;
+        match ev.pending {
+            Pending::Hop {
+                path,
+                hop,
+                from,
+                msg,
+                transport,
+                attempt,
+                sent_at,
+                seq_no,
+            } => {
+                self.core
+                    .process_hop(path, hop, from, msg, transport, attempt, sent_at, seq_no);
+            }
+            Pending::Deliver { node, from, msg } => {
+                self.core.stats.delivered += 1;
+                let mut api = SimApi {
+                    core: &mut self.core,
+                };
+                self.app.on_message(&mut api, node, from, msg);
+            }
+            Pending::Timer { node, key, payload } => {
+                self.core.stats.timers_fired += 1;
+                let mut api = SimApi {
+                    core: &mut self.core,
+                };
+                self.app.on_timer(&mut api, node, key, payload);
+            }
+        }
+        true
+    }
+
+    /// Run until the event queue is empty or `limit` events were processed.
+    /// Returns the number of events processed.
+    pub fn run(&mut self, limit: u64) -> u64 {
+        let mut n = 0;
+        while n < limit && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Run until simulation time reaches `until` (events at exactly `until`
+    /// are processed). Returns the number of events processed.
+    pub fn run_until(&mut self, until: MediaTime) -> u64 {
+        let mut n = 0;
+        loop {
+            match self.core.heap.peek() {
+                Some(Reverse(ev)) if ev.at <= until => {
+                    self.step();
+                    n += 1;
+                }
+                _ => break,
+            }
+        }
+        self.core.now = self.core.now.max(until);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::LossModel;
+    use crate::topology::LinkSpec;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Msg(String, usize);
+    impl WireSize for Msg {
+        fn wire_size(&self) -> usize {
+            self.1
+        }
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        got: Vec<(MediaTime, NodeId, NodeId, String)>,
+        timers: Vec<(MediaTime, u64, u64)>,
+        echo: bool,
+    }
+
+    impl App<Msg> for Recorder {
+        fn on_message(&mut self, api: &mut SimApi<'_, Msg>, node: NodeId, from: NodeId, msg: Msg) {
+            self.got.push((api.now(), node, from, msg.0.clone()));
+            if self.echo && msg.0 == "ping" {
+                api.send_reliable(node, from, Msg("pong".into(), msg.1));
+            }
+        }
+        fn on_timer(&mut self, api: &mut SimApi<'_, Msg>, _node: NodeId, key: u64, payload: u64) {
+            self.timers.push((api.now(), key, payload));
+        }
+    }
+
+    fn n(id: u64) -> NodeId {
+        NodeId::new(id)
+    }
+
+    fn two_node_net(loss: LossModel) -> Network {
+        two_node_net_seeded(loss, 9)
+    }
+
+    fn two_node_net_seeded(loss: LossModel, seed: u64) -> Network {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut net = Network::new();
+        net.add_node(n(0), "client");
+        net.add_node(n(1), "server");
+        let mut spec = LinkSpec::lan(8_000_000);
+        spec.loss = loss;
+        net.add_duplex(n(0), n(1), spec, &mut rng);
+        net.compute_routes();
+        net
+    }
+
+    #[test]
+    fn datagram_delivery_and_timing() {
+        let mut sim = Sim::new(two_node_net(LossModel::None), Recorder::default(), 1);
+        sim.with_api(|_, api| {
+            assert!(api.send(n(0), n(1), Msg("hello".into(), 1000)));
+        });
+        sim.run(100);
+        let got = &sim.app().got;
+        assert_eq!(got.len(), 1);
+        // 1000 bytes at 8 Mbps = 1 ms tx + 200 µs propagation.
+        assert_eq!(got[0].0, MediaTime::from_micros(1200));
+        assert_eq!(got[0].1, n(1));
+        assert_eq!(got[0].2, n(0));
+    }
+
+    #[test]
+    fn request_response_round_trip() {
+        let mut sim = Sim::new(
+            two_node_net(LossModel::None),
+            Recorder {
+                echo: true,
+                ..Default::default()
+            },
+            1,
+        );
+        sim.with_api(|_, api| {
+            api.send_reliable(n(0), n(1), Msg("ping".into(), 500));
+        });
+        sim.run(100);
+        let got = &sim.app().got;
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1].3, "pong");
+        assert_eq!(got[1].1, n(0)); // pong arrives back at the client
+        assert!(got[1].0 > got[0].0);
+    }
+
+    #[test]
+    fn reliable_survives_heavy_loss() {
+        let mut sim = Sim::new(
+            two_node_net(LossModel::Bernoulli { p: 0.5 }),
+            Recorder::default(),
+            2,
+        );
+        sim.with_api(|_, api| {
+            for i in 0..50 {
+                api.send_reliable(n(0), n(1), Msg(format!("m{i}"), 400));
+            }
+        });
+        sim.run(100_000);
+        assert_eq!(sim.app().got.len(), 50, "all reliable messages delivered");
+        assert!(sim.stats().retransmissions > 0);
+        assert_eq!(sim.stats().reliable_failures, 0);
+    }
+
+    #[test]
+    fn datagrams_lost_under_loss() {
+        let mut sim = Sim::new(
+            two_node_net(LossModel::Bernoulli { p: 0.5 }),
+            Recorder::default(),
+            3,
+        );
+        sim.with_api(|_, api| {
+            for i in 0..200 {
+                api.send(n(0), n(1), Msg(format!("d{i}"), 100));
+            }
+        });
+        sim.run(10_000);
+        let delivered = sim.app().got.len();
+        assert!(delivered > 60 && delivered < 140, "delivered {delivered}");
+        assert_eq!(sim.stats().datagrams_dropped as usize + delivered, 200);
+    }
+
+    #[test]
+    fn reliable_is_in_order_per_pair() {
+        let mut sim = Sim::new(
+            two_node_net(LossModel::Bernoulli { p: 0.3 }),
+            Recorder::default(),
+            4,
+        );
+        sim.with_api(|_, api| {
+            for i in 0..30 {
+                api.send_reliable(n(0), n(1), Msg(format!("{i:03}"), 300));
+            }
+        });
+        sim.run(100_000);
+        let names: Vec<&str> = sim.app().got.iter().map(|g| g.3.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "reliable deliveries out of order");
+    }
+
+    #[test]
+    fn reliable_in_order_despite_jitter() {
+        // Heavy per-packet jitter must not reorder reliable deliveries —
+        // the release clock keeps them monotone even when a later packet's
+        // jitter sample is smaller.
+        let mut rng = SimRng::seed_from_u64(77);
+        let mut net = Network::new();
+        net.add_node(n(0), "a");
+        net.add_node(n(1), "b");
+        let mut spec = LinkSpec::lan(8_000_000);
+        spec.jitter = crate::models::JitterModel::Exponential {
+            mean: MediaDuration::from_millis(20),
+        };
+        net.add_duplex(n(0), n(1), spec, &mut rng);
+        net.compute_routes();
+        let mut sim = Sim::new(net, Recorder::default(), 6);
+        sim.with_api(|_, api| {
+            for i in 0..60 {
+                api.send_reliable(n(0), n(1), Msg(format!("{i:03}"), 200));
+            }
+        });
+        sim.run(100_000);
+        let names: Vec<&str> = sim.app().got.iter().map(|g| g.3.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "jitter reordered reliable deliveries");
+        // Delivery times are strictly monotone per pair.
+        for w in sim.app().got.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut sim = Sim::new(two_node_net(LossModel::None), Recorder::default(), 5);
+        sim.with_api(|_, api| {
+            api.set_timer(n(0), MediaDuration::from_millis(30), 1, 100);
+            api.set_timer(n(0), MediaDuration::from_millis(10), 2, 200);
+            api.set_timer(n(0), MediaDuration::from_millis(20), 3, 300);
+        });
+        sim.run(10);
+        let keys: Vec<u64> = sim.app().timers.iter().map(|t| t.1).collect();
+        assert_eq!(keys, vec![2, 3, 1]);
+        assert_eq!(sim.app().timers[0].0, MediaTime::from_millis(10));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim = Sim::new(two_node_net(LossModel::None), Recorder::default(), 6);
+        sim.with_api(|_, api| {
+            api.set_timer(n(0), MediaDuration::from_millis(10), 1, 0);
+            api.set_timer(n(0), MediaDuration::from_millis(50), 2, 0);
+        });
+        sim.run_until(MediaTime::from_millis(20));
+        assert_eq!(sim.app().timers.len(), 1);
+        assert_eq!(sim.now(), MediaTime::from_millis(20));
+        sim.run_until(MediaTime::from_millis(100));
+        assert_eq!(sim.app().timers.len(), 2);
+    }
+
+    #[test]
+    fn self_send_delivers_locally() {
+        let mut sim = Sim::new(two_node_net(LossModel::None), Recorder::default(), 7);
+        sim.with_api(|_, api| {
+            assert!(api.send(n(0), n(0), Msg("loop".into(), 10)));
+        });
+        sim.run(10);
+        assert_eq!(sim.app().got.len(), 1);
+        assert_eq!(sim.app().got[0].0, MediaTime::ZERO);
+    }
+
+    #[test]
+    fn no_route_returns_false() {
+        let mut net = Network::new();
+        net.add_node(n(0), "a");
+        net.add_node(n(1), "b");
+        // no links
+        net.compute_routes();
+        let mut sim = Sim::new(net, Recorder::default(), 8);
+        sim.with_api(|_, api| {
+            assert!(!api.send(n(0), n(1), Msg("x".into(), 10)));
+        });
+    }
+
+    #[test]
+    fn identical_seeds_identical_traces() {
+        let trace = |seed| {
+            let mut sim = Sim::new(
+                two_node_net_seeded(LossModel::Bernoulli { p: 0.2 }, seed),
+                Recorder::default(),
+                seed,
+            );
+            sim.with_api(|_, api| {
+                for i in 0..40 {
+                    api.send(n(0), n(1), Msg(format!("{i}"), 200));
+                }
+            });
+            sim.run(10_000);
+            sim.app()
+                .got
+                .iter()
+                .map(|g| (g.0, g.3.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(trace(42), trace(42));
+        assert_ne!(trace(42), trace(43));
+    }
+}

@@ -1,0 +1,158 @@
+//! Integration: flows sharing a bottleneck link interact through the queue,
+//! and reservations/measured utilization reflect the sharing.
+
+use hermes_core::{ConnectionId, MediaDuration, MediaTime, NodeId};
+use hermes_simnet::{App, LinkSpec, Network, Sim, SimApi, SimRng, WireSize};
+
+#[derive(Clone)]
+struct Msg {
+    flow: u8,
+    size: usize,
+}
+impl WireSize for Msg {
+    fn wire_size(&self) -> usize {
+        self.size
+    }
+}
+
+#[derive(Default)]
+struct Collector {
+    arrivals: Vec<(MediaTime, u8)>,
+}
+impl App<Msg> for Collector {
+    fn on_message(&mut self, api: &mut SimApi<'_, Msg>, _: NodeId, _: NodeId, msg: Msg) {
+        self.arrivals.push((api.now(), msg.flow));
+    }
+    fn on_timer(&mut self, _: &mut SimApi<'_, Msg>, _: NodeId, _: u64, _: u64) {}
+}
+
+fn n(id: u64) -> NodeId {
+    NodeId::new(id)
+}
+
+/// Two senders (0, 1) feed one receiver (3) through a shared middle hop (2).
+fn dumbbell(bottleneck_bps: u64, seed: u64) -> Network {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut net = Network::new();
+    for (i, name) in ["srcA", "srcB", "mid", "dst"].iter().enumerate() {
+        net.add_node(n(i as u64), *name);
+    }
+    net.add_duplex(n(0), n(2), LinkSpec::lan(100_000_000), &mut rng);
+    net.add_duplex(n(1), n(2), LinkSpec::lan(100_000_000), &mut rng);
+    net.add_duplex(n(2), n(3), LinkSpec::lan(bottleneck_bps), &mut rng);
+    net.compute_routes();
+    net
+}
+
+#[test]
+fn bottleneck_serializes_competing_flows() {
+    // 8 Mbps bottleneck: a 1000-byte packet takes 1 ms to serialize.
+    let mut sim = Sim::new(dumbbell(8_000_000, 1), Collector::default(), 1);
+    sim.with_api(|_, api| {
+        for i in 0..50 {
+            let _ = i;
+            api.send(
+                n(0),
+                n(3),
+                Msg {
+                    flow: 0,
+                    size: 1000,
+                },
+            );
+            api.send(
+                n(1),
+                n(3),
+                Msg {
+                    flow: 1,
+                    size: 1000,
+                },
+            );
+        }
+    });
+    sim.run(1_000_000);
+    let arr = &sim.app().arrivals;
+    assert_eq!(arr.len(), 100, "all packets delivered");
+    // The bottleneck serializes: consecutive arrivals are ≥ 1 ms apart
+    // (within rounding), and total span ≥ 100 packet times.
+    let span = arr.last().unwrap().0 - arr.first().unwrap().0;
+    assert!(
+        span >= MediaDuration::from_millis(98),
+        "span {span} too short for 100 serialized packets"
+    );
+    // Both flows make progress throughout (no starvation): each half of the
+    // arrival sequence contains packets of both flows.
+    let half = arr.len() / 2;
+    for part in [&arr[..half], &arr[half..]] {
+        assert!(part.iter().any(|(_, f)| *f == 0));
+        assert!(part.iter().any(|(_, f)| *f == 1));
+    }
+}
+
+#[test]
+fn reservations_on_shared_path_are_visible_to_both_sources() {
+    let mut net = dumbbell(10_000_000, 2);
+    let c1 = ConnectionId::new(1);
+    // Flow A reserves 7 Mbps across the bottleneck.
+    assert!(net.reserve(c1, n(0), n(3), 7_000_000));
+    // Flow B sees only 3 Mbps free on its own path (shared bottleneck).
+    assert_eq!(
+        net.path_free_bandwidth(n(1), n(3), MediaTime::ZERO),
+        Some(3_000_000)
+    );
+    // B can reserve 3 but not 4.
+    let c2 = ConnectionId::new(2);
+    assert!(!net.reserve(c2, n(1), n(3), 4_000_000));
+    assert!(net.reserve(c2, n(1), n(3), 3_000_000));
+    // Releasing A frees the bottleneck for B's view.
+    net.release(c1);
+    assert_eq!(
+        net.path_free_bandwidth(n(0), n(3), MediaTime::ZERO),
+        Some(7_000_000)
+    );
+}
+
+#[test]
+fn queue_overflow_under_burst_drops_datagrams_but_not_reliable() {
+    // Tiny queue at the bottleneck; both senders burst simultaneously.
+    let mut rng = SimRng::seed_from_u64(3);
+    let mut net = Network::new();
+    for (i, name) in ["srcA", "srcB", "mid", "dst"].iter().enumerate() {
+        net.add_node(n(i as u64), *name);
+    }
+    net.add_duplex(n(0), n(2), LinkSpec::lan(100_000_000), &mut rng);
+    net.add_duplex(n(1), n(2), LinkSpec::lan(100_000_000), &mut rng);
+    let mut spec = LinkSpec::lan(2_000_000);
+    spec.queue_capacity_bytes = 8_000; // 8 packets of 1000 B
+    net.add_duplex(n(2), n(3), spec, &mut rng);
+    net.compute_routes();
+
+    let mut sim = Sim::new(net, Collector::default(), 3);
+    sim.with_api(|_, api| {
+        for _ in 0..40 {
+            api.send(
+                n(0),
+                n(3),
+                Msg {
+                    flow: 0,
+                    size: 1000,
+                },
+            );
+        }
+        for _ in 0..40 {
+            api.send_reliable(
+                n(1),
+                n(3),
+                Msg {
+                    flow: 1,
+                    size: 1000,
+                },
+            );
+        }
+    });
+    sim.run(1_000_000);
+    let datagrams = sim.app().arrivals.iter().filter(|(_, f)| *f == 0).count();
+    let reliable = sim.app().arrivals.iter().filter(|(_, f)| *f == 1).count();
+    assert!(datagrams < 40, "burst must overflow the queue: {datagrams}");
+    assert_eq!(reliable, 40, "reliable retransmits through the burst");
+    assert!(sim.stats().retransmissions > 0);
+}

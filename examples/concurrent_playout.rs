@@ -1,0 +1,54 @@
+//! The paper's §3.1 playout algorithm on real threads:
+//!
+//! ```text
+//! for i = 0 to number of structures E_i
+//!     Create a playout thread (i.e. a playout process)
+//!     wait until current relative time = t_i
+//!     Play incoming stream S_i in nominal rate for duration d_i
+//! end
+//! ```
+//!
+//! ```sh
+//! cargo run --example concurrent_playout
+//! ```
+//!
+//! Parses the Fig. 2 markup, derives the playout structures `E_i`, and plays
+//! the scenario with one thread per stream at 100× speed, printing each
+//! thread's scheduled vs. actual start.
+
+use hermes_od::client::concurrent::run_threaded_playout;
+use hermes_od::core::{DocumentId, PlayoutSchedule, ServerId};
+use hermes_od::hml::{scenario_from_markup, FIGURE2_MARKUP};
+
+fn main() {
+    let scenario =
+        scenario_from_markup(FIGURE2_MARKUP, DocumentId::new(1), ServerId::new(0)).unwrap();
+    let schedule = PlayoutSchedule::from_scenario(&scenario);
+    println!(
+        "scenario '{}' — {} playout structures E_i:",
+        scenario.title,
+        schedule.entries.len()
+    );
+    println!("{}", schedule.timeline_table());
+
+    // 100× speed: the 19 s scenario plays in ~190 ms of wall time.
+    println!("spawning one playout thread per stream (100x speed)...\n");
+    let records = run_threaded_playout(&schedule, 0.01);
+
+    println!("component  scheduled t_i   actual start    actual end");
+    for r in &records {
+        println!(
+            "{:<10} {:>12}  {:>13}  {:>11}",
+            r.component.to_string(),
+            r.scheduled_start.to_string(),
+            r.actual_start.to_string(),
+            r.actual_end.to_string()
+        );
+    }
+
+    // The synchronized AU_VI pair started together.
+    let a1 = records.iter().find(|r| r.component.raw() == 3).unwrap();
+    let v = records.iter().find(|r| r.component.raw() == 4).unwrap();
+    let pair_skew = (a1.actual_start - v.actual_start).abs();
+    println!("\nAU_VI pair start skew: {pair_skew} (scenario-time units)");
+}

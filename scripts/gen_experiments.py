@@ -1,0 +1,312 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md from live experiment runs.
+
+Usage: run every exp binary into /tmp/expout first (or let this script do it),
+then: python3 scripts/gen_experiments.py
+"""
+import os, subprocess, sys
+
+OUT = "/tmp/expout"
+EXPERIMENTS = ["exp_tab1","exp_fig1","exp_fig2","exp_fig3","exp_fig4","exp_fig5",
+               "exp_skew","exp_window","exp_grade","exp_admit","exp_search",
+               "exp_migrate","exp_ablate","exp_concur"]
+
+def run_all():
+    os.makedirs(OUT, exist_ok=True)
+    for e in EXPERIMENTS:
+        with open(f"{OUT}/{e}.txt","w") as f:
+            r = subprocess.run(["cargo","run","--release","-p","hermes-bench","--bin",e],
+                               stdout=f, stderr=subprocess.DEVNULL)
+            if r.returncode != 0:
+                sys.exit(f"{e} FAILED")
+        print(e, "OK")
+
+def grab(name, start=None, maxlines=400):
+    txt = open(f"{OUT}/{name}.txt").read().splitlines()
+    if start:
+        i = next(j for j,l in enumerate(txt) if start in l)
+        txt = txt[i:]
+    return "\n".join(txt[:maxlines]).rstrip()
+
+def main():
+    run_all()
+    doc = []
+    A = doc.append
+    A("""# EXPERIMENTS — paper vs. measured
+
+Every figure and table of the paper, plus every quantitative claim of its
+design sections, reproduced on the simulated substrate. Regenerate any row
+with `cargo run --release -p hermes-bench --bin <experiment>` (or everything
+at once with `--bin exp_all`, or this file with
+`python3 scripts/gen_experiments.py`). All runs are seeded and deterministic;
+the tables below are verbatim program output.
+
+The paper (HPDC-5 1996 / extended journal version) is a design/architecture
+paper: its "evaluation" consists of the design artifacts Figs. 1–5 and
+Table 1, plus qualitative claims about the two synchronization-recovery
+mechanisms, the media time window, admission control, distributed search and
+connection migration. We reproduce each artifact *executably* and each claim
+*quantitatively* (see DESIGN.md's reproduction index). Absolute numbers are
+simulator-scale, not 1996-testbed-scale; what is compared is the **shape**:
+which mechanism wins, in which direction, and where behaviour changes.
+
+---
+
+## TAB1 — Table 1, the markup keyword table (`exp_tab1`)
+
+**Paper:** a static table of the language's keywords.
+**Measured:** the table regenerated from the live keyword registry, with a
+coverage check that every keyword the parser accepts appears in it.
+
+```""")
+    A(grab("exp_tab1"))
+    A("""```
+
+**Verdict: reproduced.** The implementation adds the hyperlink/placement
+keywords the paper's prose uses but its table omits (HLINK/AT/TO/HOST/KIND,
+WHERE/HEIGHT/WIDTH); `ENCODING` and `SYNC` are documented extensions
+(DESIGN.md).
+
+---
+
+## FIG1 — the language grammar (`exp_fig1`)
+
+**Paper:** BNF grammar of the markup language.
+**Measured:** every production exercised against the recursive-descent
+parser: accepted, serializer round-trip, and lowering to a scenario.
+
+```""")
+    A(grab("exp_fig1", start="== Fig. 1"))
+    A("""```
+
+**Verdict: reproduced.** All productions (including the `AU_VI` paired
+attributes and timed `AT` links) parse, round-trip and lower.
+
+---
+
+## FIG2 — the example scenario (`exp_fig2`)
+
+**Paper:** a worked scenario — persistent text, images I1/I2, audio A1
+synchronized with video V, audio A2 — drawn as a screen layout plus playout
+timelines.
+**Measured:** the same scenario written in the markup language, lowered,
+analyzed (Allen interval relations), rendered, then streamed through the
+full service.
+
+```""")
+    A(grab("exp_fig2", start="== Fig. 2 (lower half)"))
+    A("""```
+
+**Verdict: reproduced.** The derived timeline matches the paper's figure
+exactly (I1 [0,5), I2 [5,12), A1‖V [6,14), A2 [15,19)); on a clean network
+every stream starts within one frame period of its authored `t_i`, with zero
+glitches and lip-sync-bounded skew.
+
+---
+
+## FIG3 — the general architecture (`exp_fig3`)
+
+**Paper:** the block diagram (multimedia DB, flow scheduler, media servers,
+client/server QoS managers, quality converters, buffers, presentation
+scheduler).
+**Measured:** a loaded WAN session in which every block reports activity.
+
+```""")
+    A(grab("exp_fig3", start="== Fig. 3"))
+    A("""```
+
+**Verdict: reproduced.** All components participate; the congestion epoch
+drives the feedback → grading loop (degrades during, upgrades after).
+
+---
+
+## FIG4 — application state transition diagram (`exp_fig4`)
+
+**Paper:** the session state diagram of §5.
+**Measured:** the legal transition function (8 states; the transition count
+is printed by the run) enumerated, then exercised to 100% coverage by
+scripted live sessions plus machine-level scripts for the contrived edges.
+
+```""")
+    A(grab("exp_fig4", start="coverage:"))
+    A("""```
+
+**Verdict: reproduced** (every legal transition exercised; illegal
+operations are rejected with `InvalidStateTransition`).
+
+---
+
+## FIG5 — the protocol stack (`exp_fig5`)
+
+**Paper:** scenario/discrete media/control over TCP; audio/video over
+RTP/UDP; feedback over RTCP (both directions — receiver reports up, sender
+reports down); tutor mail over SMTP/MIME.
+**Measured:** per-stack-path byte accounting over a full session.
+
+```""")
+    A(grab("exp_fig5", start="== Fig. 5"))
+    A("""```
+
+**Verdict: reproduced.** All four paths are exercised with the paper's
+mapping, and continuous media dominates the byte count as expected.
+
+---
+
+## EXP-SKEW — short-term recovery bounds intermedia skew (`exp_skew`)
+
+**Paper claim (§4):** buffer-occupancy-driven frame dropping/duplication is
+a "short term synchronization incoherence recovery method".
+**Measured:** max A/V skew vs background load, mechanism on vs off.
+
+```""")
+    A(grab("exp_skew", start="== EXP-SKEW"))
+    A("""```
+
+**Verdict: shape holds.** Without recovery, skew grows with load; with
+recovery it stays near the 80 ms lip-sync tolerance, paid for in
+duplicated/dropped frames. Beyond ~45% load the nominal-rate flows stop
+fitting the link — admission's domain (EXP-ADMIT) and grading's (EXP-GRADE).
+
+---
+
+## EXP-WINDOW — the media time window smooths bursts (`exp_window`)
+
+**Paper claim (§4):** the intentional prefill delay ("media time window")
+smooths network delay variation before it can affect presentation.
+**Measured:** disruptions vs window size under periodic congestion bursts.
+
+```""")
+    A(grab("exp_window", start="== EXP-WINDOW"))
+    A("""```
+
+**Verdict: shape holds.** Startup delay is the window (the paper's
+intentional initial delay); for bursts shorter than the window, disruptions
+fall monotonically toward zero. Long bursts show the expected regimes: tiny
+windows recover by dropping the stale backlog wholesale, large windows
+absorb the burst entirely.
+
+---
+
+## EXP-GRADE — long-term recovery by quality grading (`exp_grade`)
+
+**Paper claim (§4):** feedback-driven grading degrades video before audio
+under sustained congestion ("users can tolerate lower video quality rather
+than 'not hear well'"), stops streams at the user's floor, and "gracefully
+upgrade[s] the media quality when the network's condition permits it".
+**Measured:** quality-level trace through a 12 s congestion epoch; grading
+on vs off.
+
+```""")
+    A(grab("exp_grade", start="== EXP-GRADE"))
+    A("""```
+
+**Verdict: shape holds.** Video walks down the ladder during the epoch
+(audio untouched), climbs back after it; with grading off the nominal-rate
+flow overloads the link for the whole epoch (several times the network
+drops, visible presentation disruptions).
+
+---
+
+## EXP-ADMIT — pricing-aware admission (`exp_admit`)
+
+**Paper claim (§4):** admission evaluates network condition + requested QoS
++ pricing contract; "a user who pays more should be serviced, even though it
+affects the other users".
+**Measured:** per-class admission rates vs offered load on a shared uplink.
+
+```""")
+    A(grab("exp_admit", start="== EXP-ADMIT"))
+    A("""```
+
+**Verdict: shape holds.** Everyone is admitted at low load; Economy (70%
+utilization ceiling) saturates first, Standard (85%) second, Premium (97%)
+last — premium admission rate is ~2× the others at every overloaded point.
+
+---
+
+## EXP-SEARCH — distributed search fan-out (`exp_search`)
+
+**Paper claim (§6.2.2):** the contacted server scans locally and forwards
+the query to all other servers; only matching lessons plus their server
+locations return.
+**Measured:** completeness and latency vs number of servers.
+
+```""")
+    A(grab("exp_search", start="== EXP-SEARCH"))
+    A("""```
+
+**Verdict: reproduced.** Hits equal the matching lessons exactly at every
+scale; latency grows with the slowest fanned-out server since the merge
+waits for all partial results.
+
+---
+
+## EXP-MIGRATE — suspended-connection migration (`exp_migrate`)
+
+**Paper claim (§5):** following a remote link suspends the old connection
+for a grace period; a revisit inside it resumes, past it the connection is
+closed "and the attached client is informed about the event".
+**Measured:** outcome matrix of revisit delay vs grace period.
+
+```""")
+    A(grab("exp_migrate", start="== EXP-MIGRATE"))
+    A("""```
+
+**Verdict: reproduced** exactly as specified.
+
+---
+
+## EXP-ABLATE — design-choice ablations (`exp_ablate`)
+
+Ablations of choices the paper states but does not evaluate.
+
+```""")
+    A(grab("exp_ablate", start="== EXP-ABLATE/1"))
+    A("""```
+
+**Findings.**
+1. *Grading order*: audio-first grading spends steps on the low-bandwidth
+   audio stream, sheds less rate per step and ends up stopping streams;
+   video-first (the paper's rule) and largest-saving shed the expensive
+   video rate first and keep audio intact.
+2. *Skew policy*: drop-only repair cannot hold a starving partner back, so
+   skew grows well past tolerance; any policy that can stall the leader
+   (duplicate-laggard, or the paper's combined policy) bounds skew near the
+   lip-sync limit.
+3. *Feedback interval*: faster feedback adapts sooner — network drops during
+   the epoch grow steadily as the report interval stretches from 250 ms to
+   4 s; very slow feedback also reacts late on recovery.
+
+---
+
+## EXP-CONCUR — service scalability (`exp_concur`)
+
+**Paper gap:** the HPDC-5 paper positions the service for broadband
+deployment but never measures multi-client behaviour.
+**Measured:** concurrent clients sharing one 25 Mbps server uplink.
+
+```""")
+    A(grab("exp_concur", start="== EXP-CONCUR"))
+    A("""```
+
+**Finding.** Per-client quality stays flat at every scale because bandwidth
+reservations gate admission: once the uplink is committed (~10 nominal-rate
+flows) further requests are rejected instead of degrading everyone — the
+paper's "affects the other users" rule in action. Admission handles
+*inter-session* contention; grading (EXP-GRADE) handles *in-session*
+congestion.
+
+---
+
+## Benchmarks
+
+`cargo bench --workspace` runs the criterion suites (`parser`, `simnet`,
+`playout`, `rtp`, `session`) — micro-benchmarks for each substrate plus a
+full end-to-end Fig. 2 session. See `bench_output.txt` for the most recent
+numbers on this machine.
+""")
+    open("EXPERIMENTS.md","w").write("\n".join(doc))
+    print("EXPERIMENTS.md written")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+//! # hermes-od
+//!
+//! Facade crate for **Hermes-OD**, a reproduction of *"On-Demand
+//! Hypermedia/Multimedia Service over Broadband Networks"* (Bouras,
+//! Kapoulas, Miras, Ouzounis, Spirakis, Tatakis — HPDC-5, 1996) and its
+//! extended journal version.
+//!
+//! Re-exports every workspace crate under one roof:
+//!
+//! * [`core`] — scenario model, playout schedules, skew algebra, grading
+//!   policies, QoS types;
+//! * [`hml`] — the hypermedia markup language (lexer/parser/serializer,
+//!   scenario lowering, builder API);
+//! * [`simnet`] — the deterministic discrete-event network simulator;
+//! * [`rtp`] — RTP/RTCP packets, sessions and receiver statistics;
+//! * [`media`] — codec rate models, frame sources, media stores and the
+//!   quality converter;
+//! * [`server`] — multimedia database, flow scheduler, grading engine,
+//!   admission control, accounts;
+//! * [`client`] — buffers, playout engine, client QoS manager, the Fig. 4
+//!   state machine, headless renderer and threaded playout;
+//! * [`service`] — the wire protocol, actors, world builder and the Hermes
+//!   distance-education layer.
+//!
+//! See `examples/quickstart.rs` for a complete session in ~40 lines.
+
+pub use hermes_client as client;
+pub use hermes_core as core;
+pub use hermes_hml as hml;
+pub use hermes_media as media;
+pub use hermes_rtp as rtp;
+pub use hermes_server as server;
+pub use hermes_service as service;
+pub use hermes_simnet as simnet;

@@ -1,0 +1,137 @@
+//! Property tests on the media buffer: pts ordering, accounting invariants
+//! and repair-operation safety under arbitrary operation sequences.
+
+use hermes_od::client::buffers::Popped;
+use hermes_od::client::{BufferConfig, MediaBuffer};
+use hermes_od::core::{ComponentId, GradeLevel, MediaDuration, MediaTime};
+use hermes_od::media::MediaFrame;
+use proptest::prelude::*;
+
+fn frame(seq: u64, pts_ms: i64, last: bool) -> MediaFrame {
+    MediaFrame {
+        component: ComponentId::new(1),
+        seq,
+        pts: MediaTime::from_millis(pts_ms),
+        size: 500,
+        key: true,
+        level: GradeLevel::NOMINAL,
+        last,
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(i64),
+    Pop,
+    Drop(u8),
+    DropStale(i64, u8),
+    Duplicate(u8),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..10_000).prop_map(Op::Push),
+        Just(Op::Pop),
+        (0u8..10).prop_map(Op::Drop),
+        ((0i64..10_000), (0u8..10)).prop_map(|(p, n)| Op::DropStale(p, n)),
+        (0u8..6).prop_map(Op::Duplicate),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Under any operation sequence the buffer's accounting balances:
+    /// in == out + dropped + still-staged (for real frames), length never
+    /// exceeds capacity, and real frames pop in pts order.
+    #[test]
+    fn accounting_balances(ops in proptest::collection::vec(op(), 0..120)) {
+        let cfg = BufferConfig {
+            time_window: MediaDuration::from_millis(400),
+            low_watermark: 0.25,
+            high_watermark: 1.75,
+            capacity_frames: 32,
+        };
+        let mut b = MediaBuffer::new(ComponentId::new(1), cfg, MediaDuration::from_millis(40));
+        let mut seq = 0u64;
+        let mut popped_real = 0u64;
+        let mut popped_dups = 0u64;
+        for o in ops {
+            match o {
+                Op::Push(pts) => {
+                    b.push(frame(seq, pts, false));
+                    seq += 1;
+                }
+                Op::Pop => match b.pop() {
+                    Some(Popped::Frame(f)) => {
+                        // A popped frame is never later than anything still
+                        // staged: the buffer serves the timeline in order.
+                        if let Some(head) = b.peek() {
+                            prop_assert!(
+                                f.pts <= head.pts,
+                                "pts order violated: popped {} ahead of staged {}",
+                                f.pts,
+                                head.pts
+                            );
+                        }
+                        popped_real += 1;
+                    }
+                    Some(Popped::Duplicate) => popped_dups += 1,
+                    None => prop_assert!(b.is_empty()),
+                },
+                Op::Drop(n) => {
+                    b.drop_frames(n as u32);
+                    // Dropping can skip pts forward; reset the order tracker
+                    // conservatively (drops remove from the FRONT, so order
+                    // for the remaining frames still holds — no reset needed).
+                }
+                Op::DropStale(pts, n) => {
+                    b.drop_stale(MediaTime::from_millis(pts), n as u32);
+                }
+                Op::Duplicate(n) => {
+                    b.duplicate_front(n as u32);
+                }
+            }
+            prop_assert!(b.len() <= 32, "capacity exceeded: {}", b.len());
+            prop_assert_eq!(
+                b.staged_time(),
+                MediaDuration::from_millis(40) * b.len() as i64
+            );
+        }
+        let s = b.stats;
+        // Unit conservation over real frames AND duplicates: everything that
+        // entered (pushes + queued duplicates) is either popped (real or
+        // dup), dropped (drop_frames / drop_stale, which may consume dups),
+        // or still staged.
+        prop_assert_eq!(
+            s.frames_in + s.frames_duplicated,
+            s.frames_out + popped_dups + s.frames_dropped + b.len() as u64,
+            "in={} duplicated={} out={} dups_played={} dropped={} len={}",
+            s.frames_in, s.frames_duplicated, s.frames_out, popped_dups,
+            s.frames_dropped, b.len()
+        );
+        prop_assert_eq!(s.frames_out, popped_real);
+        prop_assert!(s.frames_duplicated >= popped_dups);
+    }
+}
+
+#[test]
+fn priming_is_monotone_in_window() {
+    // A stricter window never primes earlier than a looser one.
+    for frames_needed in 1..20usize {
+        let window = MediaDuration::from_millis(40 * frames_needed as i64);
+        let mut b = MediaBuffer::new(
+            ComponentId::new(1),
+            BufferConfig::with_window(window),
+            MediaDuration::from_millis(40),
+        );
+        for i in 0..frames_needed {
+            assert!(
+                !b.is_primed() || i == frames_needed,
+                "primed after {i} of {frames_needed}"
+            );
+            b.push(frame(i as u64, i as i64 * 40, false));
+        }
+        assert!(b.is_primed());
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests on the core temporal algebra: intervals/Allen relations,
+//! time arithmetic, skew-repair planning and grading ladders.
+
+use hermes_od::core::{
+    plan_repair, AllenRelation, GradeLevel, Interval, LadderRung, MediaDuration, MediaTime,
+    QualityLadder, Skew, SkewPolicy, SkewRepair,
+};
+use proptest::prelude::*;
+
+fn time() -> impl Strategy<Value = MediaTime> {
+    (-1_000_000i64..1_000_000).prop_map(MediaTime::from_micros)
+}
+
+fn interval() -> impl Strategy<Value = Interval> {
+    (time(), 0i64..1_000_000)
+        .prop_map(|(s, len)| Interval::new(s, s + MediaDuration::from_micros(len)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Exactly one Allen relation holds and inversion is involutive.
+    #[test]
+    fn allen_total_and_inverse(a in interval(), b in interval()) {
+        let r = a.allen(&b);
+        prop_assert_eq!(b.allen(&a), r.inverse());
+        prop_assert_eq!(r.inverse().inverse(), r);
+        // Equals is self-inverse and symmetric.
+        if r == AllenRelation::Equals {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Intersection is commutative, contained in both, and implies overlap.
+    #[test]
+    fn intersection_properties(a in interval(), b in interval()) {
+        let ab = a.intersect(&b);
+        let ba = b.intersect(&a);
+        prop_assert_eq!(ab, ba);
+        if let Some(i) = ab {
+            prop_assert!(a.overlaps(&b));
+            prop_assert!(i.start >= a.start && i.end <= a.end);
+            prop_assert!(i.start >= b.start && i.end <= b.end);
+            prop_assert!(i.duration() <= a.duration());
+            prop_assert!(i.duration() <= b.duration());
+        }
+    }
+
+    /// The hull contains both intervals and any intersection.
+    #[test]
+    fn hull_contains(a in interval(), b in interval()) {
+        let h = a.hull(&b);
+        prop_assert!(h.start <= a.start && h.end >= a.end);
+        prop_assert!(h.start <= b.start && h.end >= b.end);
+        prop_assert!(h.duration() >= a.duration().max(b.duration()));
+    }
+
+    /// Time arithmetic: (a + d) - d == a, and subtraction inverts addition.
+    #[test]
+    fn time_arithmetic(a in time(), d in -1_000_000i64..1_000_000) {
+        let d = MediaDuration::from_micros(d);
+        prop_assert_eq!((a + d) - d, a);
+        prop_assert_eq!((a + d) - a, d);
+    }
+
+    /// plan_repair never returns a zero-frame repair when out of tolerance,
+    /// and never repairs within tolerance.
+    #[test]
+    fn repair_planning_sound(
+        skew_us in -2_000_000i64..2_000_000,
+        tol_ms in 1i64..500,
+        period_ms in 1i64..100,
+        policy in prop_oneof![Just(SkewPolicy::DropLeader), Just(SkewPolicy::DuplicateLaggard), Just(SkewPolicy::Both)],
+    ) {
+        let skew = Skew::new(MediaDuration::from_micros(skew_us));
+        let tol = MediaDuration::from_millis(tol_ms);
+        let period = MediaDuration::from_millis(period_ms);
+        let (repair, _side) = plan_repair(skew, tol, period, policy);
+        if skew.within(tol) {
+            prop_assert_eq!(repair, SkewRepair::None);
+        } else {
+            match repair {
+                SkewRepair::None => prop_assert!(false, "out-of-tolerance skew not repaired"),
+                SkewRepair::DropFromLeader { frames } | SkewRepair::DuplicateInLaggard { frames } => {
+                    prop_assert!(frames >= 1);
+                    // The correction never exceeds the excess by more than
+                    // one frame quantum.
+                    let excess = skew.magnitude() - tol;
+                    let corrected = period * frames as i64;
+                    prop_assert!(corrected <= excess + period + period,
+                        "overcorrection: {corrected} for excess {excess}");
+                }
+            }
+        }
+    }
+
+    /// Grading ladders: degraded levels never cost more bandwidth; stepping
+    /// down then up returns to the same level.
+    #[test]
+    fn ladder_monotone(rungs in proptest::collection::vec(1_000u64..10_000_000, 1..8)) {
+        let mut sorted = rungs.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let ladder = QualityLadder::new(
+            sorted.iter().enumerate()
+                .map(|(i, bw)| LadderRung { label: format!("L{i}"), bandwidth_bps: *bw })
+                .collect(),
+        );
+        let max = ladder.max_level();
+        let mut level = GradeLevel::NOMINAL;
+        let mut last_bw = ladder.bandwidth_at(level);
+        for _ in 0..10 {
+            level = level.degraded(max);
+            let bw = ladder.bandwidth_at(level);
+            prop_assert!(bw <= last_bw);
+            last_bw = bw;
+        }
+        for _ in 0..10 {
+            level = level.upgraded();
+        }
+        prop_assert_eq!(level, GradeLevel::NOMINAL);
+        prop_assert_eq!(ladder.bandwidth_at(level), sorted[0]);
+    }
+}

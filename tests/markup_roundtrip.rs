@@ -1,0 +1,171 @@
+#![allow(clippy::explicit_counter_loop)]
+//! Property tests: the markup language round-trips arbitrary documents, and
+//! builder-generated documents always lower to well-formed scenarios.
+
+use hermes_od::core::{
+    DocumentId, HeadingLevel, LinkKind, MediaDuration, MediaSource, MediaTime, Region, ServerId,
+};
+use hermes_od::hml::{build_scenario, parse, serialize, DocumentBuilder};
+use proptest::prelude::*;
+
+/// Text fragments that are safe as markup STRING content (no tags; the
+/// lexer normalizes whitespace, so use single-space words; avoid bare
+/// ALL-CAPS attribute-keyword look-alikes followed by '='; quotes are fine
+/// in NOTE values only — keep plain text here).
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-z][a-z0-9]{0,8}", 1..6).prop_map(|ws| ws.join(" "))
+}
+
+fn duration_strategy() -> impl Strategy<Value = MediaDuration> {
+    (1i64..600_000).prop_map(MediaDuration::from_millis)
+}
+
+fn time_strategy() -> impl Strategy<Value = MediaTime> {
+    (0i64..600_000).prop_map(MediaTime::from_millis)
+}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Heading(u8, String),
+    Text(String),
+    Paragraph,
+    Image(MediaTime, MediaDuration, i32, i32, u32, u32),
+    Audio(MediaTime, MediaDuration),
+    Video(MediaTime, MediaDuration),
+    AudioVideo(MediaTime, MediaDuration),
+    Link(bool, u64, Option<MediaTime>),
+    Separator,
+}
+
+fn item_strategy() -> impl Strategy<Value = Item> {
+    prop_oneof![
+        (1u8..=3, text_strategy()).prop_map(|(l, t)| Item::Heading(l, t)),
+        text_strategy().prop_map(Item::Text),
+        Just(Item::Paragraph),
+        (
+            time_strategy(),
+            duration_strategy(),
+            -500i32..500,
+            -500i32..500,
+            1u32..2000,
+            1u32..2000
+        )
+            .prop_map(|(s, d, x, y, w, h)| Item::Image(s, d, x, y, w, h)),
+        (time_strategy(), duration_strategy()).prop_map(|(s, d)| Item::Audio(s, d)),
+        (time_strategy(), duration_strategy()).prop_map(|(s, d)| Item::Video(s, d)),
+        (time_strategy(), duration_strategy()).prop_map(|(s, d)| Item::AudioVideo(s, d)),
+        (
+            any::<bool>(),
+            1u64..100,
+            proptest::option::of(time_strategy())
+        )
+            .prop_map(|(k, doc, at)| Item::Link(k, doc, at)),
+        Just(Item::Separator),
+    ]
+}
+
+fn build(title: String, items: Vec<Item>) -> hermes_od::hml::HmlDocument {
+    let srv = ServerId::new(0);
+    let mut b = DocumentBuilder::new(title);
+    let mut n = 0u64;
+    for item in items {
+        n += 1;
+        let src = |what: &str| MediaSource::new(srv, format!("{what}/{n}.bin"));
+        b = match item {
+            Item::Heading(l, t) => b.heading(
+                match l {
+                    1 => HeadingLevel::H1,
+                    2 => HeadingLevel::H2,
+                    _ => HeadingLevel::H3,
+                },
+                t,
+            ),
+            Item::Text(t) => b.text(t),
+            Item::Paragraph => b.paragraph(),
+            Item::Image(s, d, x, y, w, h) => {
+                b.image(src("img"), s, d, Some(Region::new(x, y, w, h)))
+            }
+            Item::Audio(s, d) => b.audio(src("au"), s, d),
+            Item::Video(s, d) => b.video(src("vi"), s, d),
+            Item::AudioVideo(s, d) => b.audio_video(src("au"), src("vi"), s, d),
+            Item::Link(kind, doc, at) => b.link(
+                if kind {
+                    LinkKind::Sequential
+                } else {
+                    LinkKind::Explorational
+                },
+                DocumentId::new(doc),
+                at,
+            ),
+            Item::Separator => b.separator(),
+        };
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// serialize ∘ parse is the identity on builder-generated documents.
+    #[test]
+    fn round_trip_identity(title in text_strategy(), items in proptest::collection::vec(item_strategy(), 0..20)) {
+        let doc = build(title, items);
+        let text = serialize(&doc);
+        let reparsed = parse(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+        prop_assert_eq!(&doc, &reparsed, "round trip mismatch\n---\n{}", text);
+    }
+
+    /// Builder-generated documents always lower to well-formed scenarios
+    /// with unique component ids and consistent sync groups.
+    #[test]
+    fn lowering_always_well_formed(title in text_strategy(), items in proptest::collection::vec(item_strategy(), 0..20)) {
+        let doc = build(title, items);
+        let scenario = build_scenario(&doc, DocumentId::new(1), ServerId::new(0)).unwrap();
+        let issues = scenario.validate();
+        // Spatial overlap is a legal warning; everything else is a defect.
+        for issue in &issues {
+            prop_assert!(
+                matches!(issue, hermes_od::core::ScenarioIssue::SpatialOverlap(_, _)),
+                "unexpected issue: {:?}",
+                issue
+            );
+        }
+        // Every AU_VI pair produced a sync group whose members exist and
+        // share timing.
+        for g in &scenario.sync_groups {
+            prop_assert_eq!(g.members.len(), 2);
+        }
+    }
+
+    /// Lowering twice (via serialized text) produces the same scenario.
+    #[test]
+    fn lowering_stable_through_text(title in text_strategy(), items in proptest::collection::vec(item_strategy(), 0..12)) {
+        let doc = build(title, items);
+        let s1 = build_scenario(&doc, DocumentId::new(1), ServerId::new(0)).unwrap();
+        let text = serialize(&doc);
+        let doc2 = parse(&text).unwrap();
+        let s2 = build_scenario(&doc2, DocumentId::new(1), ServerId::new(0)).unwrap();
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// The playout schedule derived from any generated scenario is sane:
+    /// sorted deadlines, buffer slots dense, events chronological.
+    #[test]
+    fn schedules_sane(title in text_strategy(), items in proptest::collection::vec(item_strategy(), 0..16)) {
+        let doc = build(title, items);
+        let scenario = build_scenario(&doc, DocumentId::new(1), ServerId::new(0)).unwrap();
+        let schedule = hermes_od::core::PlayoutSchedule::from_scenario(&scenario);
+        for w in schedule.entries.windows(2) {
+            prop_assert!(w[0].start <= w[1].start);
+        }
+        for w in schedule.events.windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+        let mut slots: Vec<usize> = schedule.entries.iter().filter_map(|e| e.buffer_slot).collect();
+        slots.sort_unstable();
+        for (i, s) in slots.iter().enumerate() {
+            prop_assert_eq!(*s, i, "buffer slots must be dense");
+        }
+    }
+}

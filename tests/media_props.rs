@@ -1,0 +1,105 @@
+//! Property tests on the media substrate: codec rate models, frame sources
+//! and RTP packetization/reassembly.
+
+use hermes_od::core::{ComponentId, Encoding, GradeLevel, MediaDuration, MediaTime};
+use hermes_od::media::{CodecModel, FrameSource};
+use hermes_od::rtp::{RtpPacket, RtpReceiver, RtpSender};
+use proptest::prelude::*;
+
+fn encoding() -> impl Strategy<Value = Encoding> {
+    prop_oneof![
+        Just(Encoding::Pcm),
+        Just(Encoding::Adpcm),
+        Just(Encoding::Vadpcm),
+        Just(Encoding::Mpeg),
+        Just(Encoding::Avi),
+        Just(Encoding::Jpeg),
+        Just(Encoding::Gif),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Frame sizes are positive, bounded and deterministic; frame pts are
+    /// strictly increasing; exactly one frame carries `last`.
+    #[test]
+    fn frame_source_invariants(enc in encoding(), seed in any::<u64>(), secs in 1i64..12) {
+        let frames = FrameSource::new(
+            ComponentId::new(1), enc, seed, MediaDuration::from_secs(secs)
+        ).collect_all();
+        prop_assert!(!frames.is_empty());
+        let model = CodecModel::for_encoding(enc);
+        let mean = model.level(GradeLevel::NOMINAL).mean_frame_bytes as u64;
+        for w in frames.windows(2) {
+            prop_assert!(w[1].pts > w[0].pts);
+            prop_assert_eq!(w[1].seq, w[0].seq + 1);
+        }
+        for f in &frames {
+            prop_assert!(f.size >= 16);
+            // Key frames may be up to key_scale × mean (+12.5% jitter).
+            prop_assert!((f.size as u64) < mean * 4 + 1_000, "size {} vs mean {mean}", f.size);
+        }
+        prop_assert_eq!(frames.iter().filter(|f| f.last).count(), 1);
+        prop_assert!(frames.last().unwrap().last);
+        // Determinism.
+        let again = FrameSource::new(
+            ComponentId::new(1), enc, seed, MediaDuration::from_secs(secs)
+        ).collect_all();
+        prop_assert_eq!(frames, again);
+    }
+
+    /// Long-run mean frame size tracks the codec model's nominal mean.
+    #[test]
+    fn mean_rate_tracks_model(enc in encoding(), seed in any::<u64>()) {
+        let model = CodecModel::for_encoding(enc);
+        let level = model.level(GradeLevel::NOMINAL);
+        let n = 2_000u64;
+        let total: u64 = (0..n).map(|i| model.frame_size(seed, i, GradeLevel::NOMINAL) as u64).sum();
+        let mean = total as f64 / n as f64;
+        let nominal = level.mean_frame_bytes as f64;
+        prop_assert!((mean - nominal).abs() / nominal < 0.10,
+            "{enc:?}: mean {mean} vs nominal {nominal}");
+    }
+
+    /// RTP encode/decode round-trips arbitrary header fields.
+    #[test]
+    fn rtp_round_trip(
+        seq in any::<u16>(),
+        ts in any::<u32>(),
+        ssrc in any::<u32>(),
+        marker in any::<bool>(),
+        len in 0usize..2_000,
+    ) {
+        let p = RtpPacket::synthetic(hermes_od::rtp::PayloadType::Mpeg, marker, seq, ts, ssrc, len);
+        let q = RtpPacket::decode(p.encode()).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    /// Packetize→receive reassembles every frame exactly, for any encoding
+    /// and duration, when no packets are lost.
+    #[test]
+    fn packetize_reassemble_lossless(enc in encoding(), seed in any::<u64>(), secs in 1i64..6) {
+        let frames = FrameSource::new(
+            ComponentId::new(1), enc, seed, MediaDuration::from_secs(secs)
+        ).collect_all();
+        let mut tx = RtpSender::new(42, enc);
+        let mut rx = RtpReceiver::new(enc);
+        let mut t = MediaTime::ZERO;
+        for f in &frames {
+            for p in tx.packetize(f) {
+                rx.on_packet(&p, t);
+                t += MediaDuration::from_micros(100);
+            }
+        }
+        let got = rx.take_frames();
+        prop_assert_eq!(got.len(), frames.len());
+        for (g, f) in got.iter().zip(&frames) {
+            prop_assert_eq!(g.size, f.size);
+            // pts survives the clock conversion to within one clock tick.
+            let err = (g.pts - f.pts).abs();
+            prop_assert!(err <= MediaDuration::from_micros(200), "pts error {err}");
+        }
+        prop_assert_eq!(rx.stats.cumulative_lost(), 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Robustness: the markup pipeline never panics on arbitrary input — it
+//! either parses or returns a positioned error.
+
+use hermes_od::core::{DocumentId, ServerId};
+use hermes_od::hml::{parse, scenario_from_markup};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary ASCII soup never panics the lexer/parser.
+    #[test]
+    fn parser_total_on_ascii(s in "[ -~\\n\\t]{0,400}") {
+        let _ = parse(&s);
+    }
+
+    /// Arbitrary bytes shaped like markup never panic either.
+    #[test]
+    fn parser_total_on_taglike(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("<TITLE>".to_string()),
+                Just("</TITLE>".to_string()),
+                Just("<TEXT>".to_string()),
+                Just("</TEXT>".to_string()),
+                Just("<IMG>".to_string()),
+                Just("</IMG>".to_string()),
+                Just("<AU_VI>".to_string()),
+                Just("</AU_VI>".to_string()),
+                Just("<HLINK>".to_string()),
+                Just("</HLINK>".to_string()),
+                Just("<B>".to_string()),
+                Just("</B>".to_string()),
+                Just("<PAR>".to_string()),
+                Just("<SEP>".to_string()),
+                Just("SOURCE=x".to_string()),
+                Just("STARTIME=1s".to_string()),
+                Just("STARTIME=-5s".to_string()),
+                Just("DURATION=99999999999s".to_string()),
+                Just("ID=1".to_string()),
+                Just("ID=1".to_string()),
+                Just("NOTE=\"unterminated".to_string()),
+                Just("WHERE=1,2".to_string()),
+                Just("TO=doc1".to_string()),
+                Just("AT=2s".to_string()),
+                "[a-z ]{0,12}".prop_map(|s| s),
+            ],
+            0..30,
+        )
+    ) {
+        let src = parts.join(" ");
+        // Must not panic; errors are fine.
+        let _ = scenario_from_markup(&src, DocumentId::new(1), ServerId::new(0));
+    }
+
+    /// Parse errors carry positions inside the input (or None at EOF).
+    #[test]
+    fn errors_positioned(s in "<TITLE>[a-z ]{1,10}</TITLE> <IMG> [A-Z]{1,8}=[a-z]{1,5} </IMG>") {
+        if let Err(e) = parse(&s) {
+            if let Some(pos) = e.pos {
+                let lines = s.lines().count() as u32;
+                prop_assert!(pos.line >= 1 && pos.line <= lines.max(1));
+            }
+        }
+    }
+}
+
+#[test]
+fn pathological_nesting_rejected_without_stack_overflow() {
+    // Deeply nested style spans parse (recursion is bounded by input size;
+    // 1000 levels is well within stack limits) or error cleanly.
+    let mut src = String::from("<TITLE>t</TITLE> <TEXT> ");
+    for _ in 0..1000 {
+        src.push_str("<B> ");
+    }
+    src.push('x');
+    for _ in 0..1000 {
+        src.push_str(" </B>");
+    }
+    src.push_str(" </TEXT>");
+    let doc = parse(&src).expect("deep nesting parses");
+    // All 1000 levels collapse into one bold run.
+    assert_eq!(doc.sentences[0].body.len(), 1);
+}
+
+#[test]
+fn enormous_attribute_values_handled() {
+    let big = "x".repeat(100_000);
+    let src = format!("<TITLE>t</TITLE> <IMG> SOURCE={big} ID=1 </IMG>");
+    let s = scenario_from_markup(&src, DocumentId::new(1), ServerId::new(0)).unwrap();
+    match &s.components[0].content {
+        hermes_od::core::ComponentContent::Stored { source, .. } => {
+            assert_eq!(source.object.len(), 100_000);
+        }
+        other => panic!("{other:?}"),
+    }
+}
