@@ -18,6 +18,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_migrate",
     "exp_ablate",
     "exp_concur",
+    "exp_faults",
 ];
 
 fn main() {

@@ -87,6 +87,10 @@ pub struct BufferStats {
     pub frames_duplicated: u64,
     /// Frames rejected because the hard capacity was hit.
     pub frames_rejected: u64,
+    /// Frames rejected because they arrived after playout already presented
+    /// a later pts (stale on arrival — presenting them would run the
+    /// timeline backwards).
+    pub frames_late: u64,
     /// Transitions into the underflow state.
     pub underflow_events: u64,
     /// Transitions into the overflow state.
@@ -112,6 +116,9 @@ pub struct MediaBuffer {
     /// The stream's final frame has been staged — nothing more is coming,
     /// so prefill is as complete as it can get.
     complete: bool,
+    /// The pts of the last real frame handed to playout. Arrivals earlier
+    /// than this are late: the timeline has already moved past them.
+    last_popped_pts: Option<MediaTime>,
     /// Last watermark state (for edge-triggered event counting).
     last_state: BufferState,
     /// Counters.
@@ -133,6 +140,7 @@ impl MediaBuffer {
             frame_period,
             primed: false,
             complete: false,
+            last_popped_pts: None,
             last_state: BufferState::Underflow,
             stats: BufferStats::default(),
         }
@@ -191,6 +199,16 @@ impl MediaBuffer {
         if frame.last {
             self.complete = true;
         }
+        // A frame whose pts playout has already passed can never be
+        // presented in order; staging it would hand playout a timeline
+        // running backwards. Drop it (the `last` latch above still fires so
+        // a late final frame cannot wedge prefill).
+        if let Some(lp) = self.last_popped_pts {
+            if frame.pts < lp {
+                self.stats.frames_late += 1;
+                return false;
+            }
+        }
         // Insert position: scan from the back (arrivals are mostly in
         // order, so this is O(1) amortized).
         let mut idx = self.queue.len();
@@ -215,8 +233,9 @@ impl MediaBuffer {
             return Some(Popped::Duplicate);
         }
         let f = self.queue.pop_front();
-        if f.is_some() {
+        if let Some(frame) = &f {
             self.stats.frames_out += 1;
+            self.last_popped_pts = Some(frame.pts);
             self.note_state();
         }
         f.map(Popped::Frame)
@@ -455,6 +474,33 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert_eq!(b.stats.frames_duplicated, 3);
+    }
+
+    #[test]
+    fn late_arrivals_dropped_after_later_pop() {
+        // Regression: a frame whose pts precedes an already-presented frame
+        // must not be staged — playout would otherwise run backwards.
+        let mut b = buf(200);
+        b.push(frame(1, 1_093));
+        assert!(
+            matches!(b.pop(), Some(Popped::Frame(f)) if f.pts == MediaTime::from_millis(1_093))
+        );
+        assert!(!b.push(frame(2, 0)), "late frame must be refused");
+        assert_eq!(b.stats.frames_late, 1);
+        assert_eq!(b.pop(), None);
+        // Equal pts is not late (a simulcast duplicate of the current frame).
+        assert!(b.push(frame(3, 1_093)));
+    }
+
+    #[test]
+    fn late_final_frame_still_completes_stream() {
+        let mut b = buf(2_000);
+        b.push(frame(0, 400));
+        b.pop();
+        let mut f = frame(1, 0);
+        f.last = true;
+        assert!(!b.push(f), "late frame dropped");
+        assert!(b.is_primed(), "final-frame latch must survive the drop");
     }
 
     #[test]

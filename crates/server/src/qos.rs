@@ -109,6 +109,15 @@ impl ServerQosManager {
         self.streams.remove(&component);
     }
 
+    /// Force a stream's converter to a level (admission-time shedding: under
+    /// pressure a session starts its streams pre-degraded instead of being
+    /// rejected outright). Clamped to the codec ladder.
+    pub fn force_level(&mut self, component: ComponentId, level: GradeLevel) {
+        if let Some(s) = self.streams.get_mut(&component) {
+            s.converter.level = level.min(s.converter.model.max_level());
+        }
+    }
+
     /// The managed stream, if registered.
     pub fn stream(&self, component: ComponentId) -> Option<&ManagedStream> {
         self.streams.get(&component)

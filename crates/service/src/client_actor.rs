@@ -74,6 +74,16 @@ pub struct ClientConfig {
     pub auto_follow_links: bool,
     /// The subscription form used when the server requires enrolment.
     pub form: SubscriptionForm,
+    /// Expected server heartbeat cadence (must match the server's
+    /// `heartbeat_interval`); also the liveness-check cadence.
+    pub heartbeat_interval: MediaDuration,
+    /// Declare the server dead after this many silent heartbeat intervals.
+    pub missed_beats: u32,
+    /// Base retransmission interval for tracked control requests (doubles
+    /// per attempt).
+    pub retry_interval: MediaDuration,
+    /// Give up on a tracked request after this many transmissions.
+    pub retry_budget: u32,
 }
 
 impl Default for ClientConfig {
@@ -93,8 +103,20 @@ impl Default for ClientConfig {
                 email: "user@hermes".into(),
                 class: PricingClass::Standard,
             },
+            heartbeat_interval: MediaDuration::from_millis(400),
+            missed_beats: 3,
+            retry_interval: MediaDuration::from_millis(500),
+            retry_budget: 10,
         }
     }
+}
+
+/// A tracked control request awaiting its acknowledgement.
+#[derive(Debug, Clone)]
+struct PendingReq {
+    server: NodeId,
+    msg: ServiceMsg,
+    attempts: u32,
 }
 
 /// The browser actor.
@@ -142,6 +164,20 @@ pub struct ClientActor {
     /// the history when its scenario arrives).
     history_nav: bool,
     next_query: u64,
+    /// Tracked requests not yet acknowledged, by request id.
+    pending_reqs: BTreeMap<u64, PendingReq>,
+    next_req: u64,
+    /// Last instant anything (heartbeat, stream data, control) arrived from
+    /// the session's server.
+    last_server_activity: MediaTime,
+    /// The liveness-check timer chain is running.
+    liveness_armed: bool,
+    /// True when the failure detector (not the user) paused the playout.
+    liveness_paused: bool,
+    /// Recovery in progress since this instant (failure-detector verdict).
+    pub recovering: Option<MediaTime>,
+    /// Completed recoveries: (failure detected, session recovered).
+    pub recoveries: Vec<(MediaTime, MediaTime)>,
 }
 
 impl ClientActor {
@@ -170,7 +206,165 @@ impl ClientActor {
             errors: Vec::new(),
             history_nav: false,
             next_query: 1,
+            pending_reqs: BTreeMap::new(),
+            next_req: 1,
+            last_server_activity: MediaTime::ZERO,
+            liveness_armed: false,
+            liveness_paused: false,
+            recovering: None,
+            recoveries: Vec::new(),
         }
+    }
+
+    /// Send a control message wrapped in a tracked envelope: retransmitted
+    /// with exponential backoff until the server acknowledges the request id
+    /// or the retry budget runs out. Survives server crashes that the
+    /// transport-level ARQ cannot see (the packet is "delivered" to a dead
+    /// process).
+    fn send_tracked(
+        &mut self,
+        api: &mut SimApi<'_, ServiceMsg>,
+        server: NodeId,
+        msg: ServiceMsg,
+    ) -> u64 {
+        let req = self.next_req;
+        self.next_req += 1;
+        self.pending_reqs.insert(
+            req,
+            PendingReq {
+                server,
+                msg: msg.clone(),
+                attempts: 0,
+            },
+        );
+        api.send_reliable(
+            self.node,
+            server,
+            ServiceMsg::Tracked {
+                req,
+                inner: Box::new(msg),
+            },
+        );
+        api.set_timer(self.node, self.cfg.retry_interval, timers::TK_RETRY, req);
+        req
+    }
+
+    fn retry_tracked(&mut self, api: &mut SimApi<'_, ServiceMsg>, req: u64) {
+        let Some(p) = self.pending_reqs.get_mut(&req) else {
+            return; // acknowledged meanwhile
+        };
+        p.attempts += 1;
+        if p.attempts >= self.cfg.retry_budget {
+            let attempts = p.attempts;
+            let p = self.pending_reqs.remove(&req).unwrap();
+            self.errors.push(format!(
+                "tracked request {req} abandoned after {attempts} attempts"
+            ));
+            self.note(api.now(), format!("giving up on request {req}"));
+            // Abandoning a session-establishing request must not leave a
+            // phantom session behind: tear back down to disconnected.
+            match p.msg {
+                ServiceMsg::Connect { .. } | ServiceMsg::ReconnectRequest { .. } => {
+                    self.session = None;
+                    self.recovering = None;
+                    self.presentation = None;
+                    if self.machine.apply(AppEvent::Disconnect).is_err() {
+                        let _ = self.machine.apply(AppEvent::AdmissionRejected);
+                    }
+                }
+                ServiceMsg::DocRequest { .. } => {
+                    let _ = self.machine.apply(AppEvent::RequestFailed);
+                }
+                _ => {}
+            }
+            return;
+        }
+        let (server, msg, attempts) = (p.server, p.msg.clone(), p.attempts);
+        api.send_reliable(
+            self.node,
+            server,
+            ServiceMsg::Tracked {
+                req,
+                inner: Box::new(msg),
+            },
+        );
+        let backoff = self.cfg.retry_interval * (1i64 << attempts.min(5));
+        api.set_timer(self.node, backoff, timers::TK_RETRY, req);
+    }
+
+    /// Tracked requests still awaiting acknowledgement (test/diagnostics).
+    pub fn pending_tracked(&self) -> usize {
+        self.pending_reqs.len()
+    }
+
+    fn arm_liveness(&mut self, api: &mut SimApi<'_, ServiceMsg>) {
+        self.last_server_activity = api.now();
+        if !self.liveness_armed {
+            self.liveness_armed = true;
+            api.set_timer(
+                self.node,
+                self.cfg.heartbeat_interval,
+                timers::TK_LIVENESS,
+                0,
+            );
+        }
+    }
+
+    fn check_liveness(&mut self, api: &mut SimApi<'_, ServiceMsg>) {
+        let Some((server, session)) = self.session else {
+            self.liveness_armed = false;
+            return;
+        };
+        let now = api.now();
+        let timeout = self.cfg.heartbeat_interval * self.cfg.missed_beats as i64;
+        if self.recovering.is_none() && now - self.last_server_activity > timeout {
+            // K beats missed: declare the server dead and reconnect. The
+            // playout clock freezes at the detection instant; a successful
+            // recovery shifts it by the outage length, exactly like a
+            // user pause/resume.
+            self.recovering = Some(now);
+            self.note(
+                now,
+                format!(
+                    "server silent for {} beats — reconnecting",
+                    self.cfg.missed_beats
+                ),
+            );
+            let (document, position_micros) = match &mut self.presentation {
+                Some(p) if p.started_at.is_some() => {
+                    if p.paused_at.is_none() {
+                        p.paused_at = Some(now);
+                        self.liveness_paused = true;
+                    }
+                    let pos = p
+                        .engine
+                        .presentation_start
+                        .map(|t0| (p.paused_at.unwrap() - t0).as_micros())
+                        .unwrap_or(0)
+                        .max(0);
+                    (Some(p.document), pos)
+                }
+                Some(p) => (Some(p.document), 0),
+                None => (self.pending_request, 0),
+            };
+            self.send_tracked(
+                api,
+                server,
+                ServiceMsg::ReconnectRequest {
+                    session,
+                    user: self.user,
+                    class: self.cfg.class,
+                    document,
+                    position_micros,
+                },
+            );
+        }
+        api.set_timer(
+            self.node,
+            self.cfg.heartbeat_interval,
+            timers::TK_LIVENESS,
+            0,
+        );
     }
 
     fn note(&mut self, at: MediaTime, msg: impl Into<String>) {
@@ -194,7 +388,7 @@ impl ClientActor {
             class: self.cfg.class,
         };
         self.note(api.now(), format!("connect → node {server}"));
-        api.send_reliable(self.node, server, msg);
+        self.send_tracked(api, server, msg);
         self.session = Some((server, SessionId::new(0))); // placeholder until ack
     }
 
@@ -207,8 +401,8 @@ impl ClientActor {
             return;
         }
         self.note(api.now(), format!("request {doc}"));
-        api.send_reliable(
-            self.node,
+        self.send_tracked(
+            api,
             server,
             ServiceMsg::DocRequest {
                 session,
@@ -498,12 +692,67 @@ impl ClientActor {
 
     /// Handle an incoming message.
     pub fn on_message(&mut self, api: &mut SimApi<'_, ServiceMsg>, from: NodeId, msg: ServiceMsg) {
+        // Any traffic from the session's server counts as liveness — the
+        // heartbeat is "carried with" stream traffic and only fills gaps.
+        if self.session.map(|(s, _)| s) == Some(from) {
+            self.last_server_activity = api.now();
+        }
         match msg {
+            ServiceMsg::Ack { req } => {
+                self.pending_reqs.remove(&req);
+            }
+            ServiceMsg::Heartbeat { .. } => {
+                // Activity already recorded above.
+            }
+            ServiceMsg::ReconnectAck {
+                old_session,
+                session,
+            } => {
+                let now = api.now();
+                self.session = Some((from, session));
+                self.arm_liveness(api);
+                if old_session != session {
+                    // The server rebuilt the session from scratch: its media
+                    // senders restart their RTP sequence spaces, so reset
+                    // the receivers to match.
+                    if let Some(p) = &mut self.presentation {
+                        for c in &p.scenario.components {
+                            if let ComponentContent::Stored { encoding, .. } = &c.content {
+                                if c.is_continuous() && p.receivers.contains_key(&c.id) {
+                                    p.receivers.insert(c.id, RtpReceiver::new(*encoding));
+                                }
+                            }
+                        }
+                    }
+                }
+                if let Some(detected) = self.recovering.take() {
+                    self.recoveries.push((detected, now));
+                    if self.liveness_paused {
+                        self.liveness_paused = false;
+                        if let Some(p) = &mut self.presentation {
+                            if let Some(paused_at) = p.paused_at.take() {
+                                if old_session != session {
+                                    // Rebuilt session: the server resumes
+                                    // from our reported position, so account
+                                    // the outage like a pause/resume.
+                                    p.engine.shift_clock(now - paused_at);
+                                }
+                                // In-place ack (false alarm): the server
+                                // never stopped streaming on the original
+                                // timeline — resume without shifting to
+                                // stay aligned with it.
+                            }
+                        }
+                    }
+                    self.note(now, format!("session recovered as {session}"));
+                }
+            }
             ServiceMsg::ConnectAck {
                 session,
                 must_subscribe,
             } => {
                 self.session = Some((from, session));
+                self.arm_liveness(api);
                 if must_subscribe {
                     if self.machine.apply(AppEvent::AuthUnknownUser).is_ok() {
                         let form = self.cfg.form.clone();
@@ -761,11 +1010,13 @@ impl ClientActor {
     }
 
     /// Handle a timer.
-    pub fn on_timer(&mut self, api: &mut SimApi<'_, ServiceMsg>, key: u64, _payload: u64) {
+    pub fn on_timer(&mut self, api: &mut SimApi<'_, ServiceMsg>, key: u64, payload: u64) {
         match key {
             timers::TK_PRIME => self.check_prime(api),
             timers::TK_TICK => self.tick(api),
             timers::TK_FEEDBACK => self.send_feedback(api),
+            timers::TK_RETRY => self.retry_tracked(api, payload),
+            timers::TK_LIVENESS => self.check_liveness(api),
             _ => {}
         }
     }

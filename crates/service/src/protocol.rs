@@ -72,6 +72,59 @@ impl MailMessage {
 /// All messages exchanged by the service's actors.
 #[derive(Debug, Clone)]
 pub enum ServiceMsg {
+    // ---- control-plane reliability envelope ----
+    /// A control message wrapped with a request id. The receiver always
+    /// answers with [`ServiceMsg::Ack`] carrying the same id (even for a
+    /// duplicate), and processes the inner message only on first sight of
+    /// the id — together with sender-side retransmission this gives
+    /// effectively-once control-plane semantics across crashes and
+    /// partitions.
+    Tracked {
+        /// Sender-unique request id.
+        req: u64,
+        /// The wrapped control message.
+        inner: Box<ServiceMsg>,
+    },
+    /// Acknowledges receipt (and eventual processing) of a tracked request.
+    Ack {
+        /// The request id being acknowledged.
+        req: u64,
+    },
+    /// Server → client: periodic per-session liveness beat, interleaved
+    /// with (and implied by) stream traffic. A client declares the server
+    /// dead after K consecutive missed beats.
+    Heartbeat {
+        /// The session.
+        session: SessionId,
+        /// Monotone beat counter.
+        seq: u64,
+    },
+    /// Client → server: re-establish a session after a suspected server
+    /// failure, carrying enough context to rebuild server-side state if the
+    /// server lost it (restart) or to resume in place (false alarm /
+    /// network partition).
+    ReconnectRequest {
+        /// The session being recovered.
+        session: SessionId,
+        /// The client's identity, if subscribed.
+        user: Option<UserId>,
+        /// The pricing contract.
+        class: PricingClass,
+        /// The document being presented when contact was lost, if any.
+        document: Option<DocumentId>,
+        /// Playout position reached, in microseconds since presentation
+        /// start — the server fast-forwards its sources past this point.
+        position_micros: i64,
+    },
+    /// Server → client: the session was recovered.
+    ReconnectAck {
+        /// The session id the client asked to recover.
+        old_session: SessionId,
+        /// The live session id (differs from `old_session` when the server
+        /// had to rebuild state after a restart).
+        session: SessionId,
+    },
+
     // ---- connection / session control (TCP path) ----
     /// Client → server: connection request with optional existing identity.
     Connect {
@@ -335,10 +388,11 @@ impl ServiceMsg {
     /// Which protocol-stack path this message takes (Fig. 5 accounting).
     pub fn stack_path(&self) -> StackPath {
         match self {
+            ServiceMsg::Tracked { inner, .. } => inner.stack_path(),
             ServiceMsg::RtpData { .. } => StackPath::MediaRtpUdp,
-            ServiceMsg::Feedback { .. } | ServiceMsg::RtcpSenderReport { .. } => {
-                StackPath::FeedbackRtcpUdp
-            }
+            ServiceMsg::Feedback { .. }
+            | ServiceMsg::RtcpSenderReport { .. }
+            | ServiceMsg::Heartbeat { .. } => StackPath::FeedbackRtcpUdp,
             ServiceMsg::MailSend { .. }
             | ServiceMsg::MailFetch { .. }
             | ServiceMsg::MailBox { .. } => StackPath::MailSmtp,
@@ -350,6 +404,13 @@ impl ServiceMsg {
 impl WireSize for ServiceMsg {
     fn wire_size(&self) -> usize {
         match self {
+            // 8-byte request-id header on top of the wrapped message.
+            ServiceMsg::Tracked { inner, .. } => 8 + inner.wire_size(),
+            ServiceMsg::Ack { .. } => 8 + TCP_IP_OVERHEAD,
+            // Heartbeats ride the datagram path: UDP+IP overhead.
+            ServiceMsg::Heartbeat { .. } => 16 + 28,
+            ServiceMsg::ReconnectRequest { .. } => 64 + TCP_IP_OVERHEAD,
+            ServiceMsg::ReconnectAck { .. } => 24 + TCP_IP_OVERHEAD,
             ServiceMsg::Connect { .. } => 64 + TCP_IP_OVERHEAD,
             ServiceMsg::ConnectAck { .. } => 32 + TCP_IP_OVERHEAD,
             ServiceMsg::ConnectReject { reason } => 16 + reason.len() + TCP_IP_OVERHEAD,

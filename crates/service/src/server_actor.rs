@@ -59,6 +59,15 @@ pub struct SessionState {
     pub suspended: bool,
     /// Connect time (for duration pricing).
     pub connected_at: MediaTime,
+    /// Liveness beats emitted so far.
+    pub heartbeat_seq: u64,
+    /// Last time media traffic went to the client. Heartbeats only fill
+    /// gaps in the media flow — an active stream is its own liveness
+    /// signal, and extra datagrams would perturb the shared link models.
+    pub last_media: MediaTime,
+    /// Admission-time shed: streams started this many grade levels below
+    /// nominal because the path lacked headroom for full quality.
+    pub shed_levels: u8,
 }
 
 /// A distributed search in progress.
@@ -83,6 +92,12 @@ pub struct ServerConfig {
     pub floor: PresentationFloor,
     /// Grace period for suspended connections.
     pub suspend_grace: MediaDuration,
+    /// Per-session liveness heartbeat cadence (clients must expect the
+    /// same interval).
+    pub heartbeat_interval: MediaDuration,
+    /// Instead of rejecting a document request outright, retry admission
+    /// with the streams shed up to this many grade levels below nominal.
+    pub max_admission_shed: u8,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +108,8 @@ impl Default for ServerConfig {
             hysteresis: GradingHysteresis::default(),
             floor: PresentationFloor::default(),
             suspend_grace: MediaDuration::from_secs(30),
+            heartbeat_interval: MediaDuration::from_millis(400),
+            max_admission_shed: 3,
         }
     }
 }
@@ -123,6 +140,13 @@ pub struct ServerActor {
     queries: BTreeMap<u64, PendingQuery>,
     /// Subscription forms processed here that the world must replicate.
     pub pending_replications: Vec<(UserId, hermes_server::SubscriptionForm)>,
+    /// Tracked request ids already processed, per client node (bounded
+    /// dedup window; ids are client-monotone so pruning the smallest is
+    /// safe).
+    seen_reqs: BTreeMap<NodeId, std::collections::BTreeSet<u64>>,
+    /// Sessions rebuilt from a client [`ServiceMsg::ReconnectRequest`]
+    /// after this server lost its state: (old session, new session).
+    pub rebuilt_sessions: Vec<(SessionId, SessionId)>,
 }
 
 impl ServerActor {
@@ -142,12 +166,61 @@ impl ServerActor {
             annotations: BTreeMap::new(),
             queries: BTreeMap::new(),
             pending_replications: Vec::new(),
+            seen_reqs: BTreeMap::new(),
+            rebuilt_sessions: Vec::new(),
         }
+    }
+
+    /// The node crashed: volatile state (sessions, reservations, dedup
+    /// windows, in-flight searches) is lost. The databases (documents,
+    /// accounts) model disk and survive. `next_session` also survives —
+    /// epoch-style allocation keeps rebuilt session ids from colliding with
+    /// ids still held by clients of the previous incarnation.
+    pub fn on_crash(&mut self, api: &mut SimApi<'_, ServiceMsg>) {
+        let ids: Vec<SessionId> = self.sessions.keys().copied().collect();
+        for session in ids {
+            if let Some(conn) = self.admission.release(session) {
+                api.net_mut().release(conn);
+            }
+        }
+        self.sessions.clear();
+        self.seen_reqs.clear();
+        self.queries.clear();
+    }
+
+    fn start_heartbeat(&mut self, api: &mut SimApi<'_, ServiceMsg>, session: SessionId) {
+        api.set_timer(
+            self.node,
+            self.cfg.heartbeat_interval,
+            timers::TK_HEARTBEAT,
+            session.raw(),
+        );
     }
 
     /// Handle an incoming message addressed to this server.
     pub fn on_message(&mut self, api: &mut SimApi<'_, ServiceMsg>, from: NodeId, msg: ServiceMsg) {
         match msg {
+            ServiceMsg::Tracked { req, inner } => {
+                // Always re-acknowledge — the previous ack may have died in
+                // a partition or with a crashed incarnation — but process
+                // the inner request only on first sight of the id.
+                api.send_reliable(self.node, from, ServiceMsg::Ack { req });
+                let seen = self.seen_reqs.entry(from).or_default();
+                if seen.insert(req) {
+                    if seen.len() > 128 {
+                        let oldest = *seen.iter().next().unwrap();
+                        seen.remove(&oldest);
+                    }
+                    self.on_message(api, from, *inner);
+                }
+            }
+            ServiceMsg::ReconnectRequest {
+                session,
+                user,
+                class,
+                document,
+                position_micros,
+            } => self.on_reconnect(api, from, session, user, class, document, position_micros),
             ServiceMsg::Connect { user, class } => self.on_connect(api, from, user, class),
             ServiceMsg::Subscribe { session, form } => self.on_subscribe(api, session, form),
             ServiceMsg::DocRequest { session, document } => {
@@ -266,6 +339,25 @@ impl ServerActor {
                 let (session, component) = timers::unpack(payload);
                 self.send_frame(api, session, component);
             }
+            timers::TK_HEARTBEAT => {
+                let session = SessionId::new(payload);
+                if let Some(s) = self.sessions.get_mut(&session) {
+                    // Gap-filling: an active media stream is its own
+                    // liveness signal, so only beat when the client has
+                    // heard nothing for a full interval.
+                    if api.now() - s.last_media >= self.cfg.heartbeat_interval {
+                        s.heartbeat_seq += 1;
+                        let beat = ServiceMsg::Heartbeat {
+                            session,
+                            seq: s.heartbeat_seq,
+                        };
+                        let client = s.client;
+                        api.send(self.node, client, beat);
+                    }
+                    self.start_heartbeat(api, session);
+                }
+                // Session gone: the chain dies with it.
+            }
             timers::TK_GRACE => {
                 let session = SessionId::new(payload);
                 let expired = self
@@ -308,6 +400,9 @@ impl ServerActor {
                 paused: false,
                 suspended: false,
                 connected_at: now,
+                heartbeat_seq: 0,
+                last_media: now,
+                shed_levels: 0,
             },
         );
         if authorized {
@@ -315,6 +410,7 @@ impl ServerActor {
             self.accounts.record_login(u, now);
             self.accounts.charge(u, Charge::Connection);
         }
+        self.start_heartbeat(api, session);
         api.send_reliable(
             self.node,
             from,
@@ -384,6 +480,145 @@ impl ServerActor {
         session: SessionId,
         document: DocumentId,
     ) {
+        self.deliver_document(api, session, document, MediaDuration::ZERO, true);
+    }
+
+    /// Re-establish a session a client believes lost. If the session is
+    /// still alive here (false alarm, or a healed partition), acknowledge in
+    /// place. If this server restarted and lost it, rebuild a fresh session
+    /// from the client-supplied context and resume delivery past the
+    /// client's playout position.
+    #[allow(clippy::too_many_arguments)]
+    fn on_reconnect(
+        &mut self,
+        api: &mut SimApi<'_, ServiceMsg>,
+        from: NodeId,
+        session: SessionId,
+        user: Option<UserId>,
+        class: PricingClass,
+        document: Option<DocumentId>,
+        position_micros: i64,
+    ) {
+        let now = api.now();
+        if let Some(s) = self.sessions.get_mut(&session) {
+            // In-place resume: the process never died. Streams kept (or
+            // keep) transmitting; the client's detector was tripped by the
+            // network, not by us.
+            s.client = from;
+            s.suspended = false;
+            api.send_reliable(
+                self.node,
+                from,
+                ServiceMsg::ReconnectAck {
+                    old_session: session,
+                    session,
+                },
+            );
+            return;
+        }
+        // Rebuild after a restart. A fresh id keeps the recovered session
+        // out of any state the old id might still be attached to elsewhere.
+        let new_session = SessionId::new(self.next_session);
+        self.next_session += 1;
+        let authorized = user
+            .map(|u| self.accounts.is_authorized(u))
+            .unwrap_or(false);
+        self.sessions.insert(
+            new_session,
+            SessionState {
+                client: from,
+                user: if authorized { user } else { None },
+                class,
+                qos: ServerQosManager::new(self.cfg.grading_order, self.cfg.hysteresis),
+                streams: BTreeMap::new(),
+                current_doc: None,
+                paused: false,
+                suspended: false,
+                connected_at: now,
+                heartbeat_seq: 0,
+                last_media: now,
+                shed_levels: 0,
+            },
+        );
+        self.rebuilt_sessions.push((session, new_session));
+        self.start_heartbeat(api, new_session);
+        api.send_reliable(
+            self.node,
+            from,
+            ServiceMsg::ReconnectAck {
+                old_session: session,
+                session: new_session,
+            },
+        );
+        if let Some(doc) = document {
+            // The client already holds the scenario; just restart delivery
+            // past the reported playout position.
+            let resume_from = MediaDuration::from_micros(position_micros.max(0));
+            self.deliver_document(api, new_session, doc, resume_from, false);
+        }
+    }
+
+    /// Evaluate admission for a flow, shedding grade levels instead of
+    /// rejecting while the configuration allows: returns the shed applied,
+    /// or an error string when even the deepest shed cannot be admitted.
+    fn admit_with_shedding(
+        &mut self,
+        api: &mut SimApi<'_, ServiceMsg>,
+        session: SessionId,
+        class: PricingClass,
+        client: NodeId,
+        flow: &hermes_server::FlowScenario,
+    ) -> Result<u8, String> {
+        let path = self.path_condition(api, client);
+        let mut last_reason = String::new();
+        for shed in 0..=self.cfg.max_admission_shed {
+            // Aggregate continuous bandwidth with every stream `shed`
+            // levels below nominal (clamped to each codec's ladder).
+            let bw: u64 = flow
+                .plans
+                .iter()
+                .filter(|p| p.kind.is_continuous())
+                .map(|p| {
+                    let model = CodecModel::for_encoding(p.encoding);
+                    let lvl = GradeLevel(shed).min(model.max_level());
+                    model.level(lvl).bandwidth_bps()
+                })
+                .sum();
+            let mut requirement = hermes_core::QosRequirement::continuous(bw, 300, 0.05);
+            requirement.bandwidth_bps = bw;
+            let request = ConnectionRequest {
+                session,
+                class,
+                requirement,
+            };
+            let (decision, conn) = self.admission.evaluate(&request, path);
+            match decision {
+                AdmissionDecision::Reject { reason } => last_reason = reason,
+                AdmissionDecision::Admit { reserved_bps } => {
+                    let conn = conn.expect("admit without connection id");
+                    if api.net_mut().reserve(conn, self.node, client, reserved_bps) {
+                        return Ok(shed);
+                    }
+                    self.admission.release(session);
+                    last_reason = "reservation failed on path".into();
+                }
+            }
+        }
+        Err(last_reason)
+    }
+
+    /// Deliver a document to a session: admission (with graceful shedding),
+    /// optionally the scenario itself, then media activation. `resume_from`
+    /// shifts all send starts earlier and fast-forwards the frame sources —
+    /// recovery resumes mid-presentation instead of replaying from zero.
+    fn deliver_document(
+        &mut self,
+        api: &mut SimApi<'_, ServiceMsg>,
+        session: SessionId,
+        document: DocumentId,
+        resume_from: MediaDuration,
+        send_scenario: bool,
+    ) {
         let Some(s) = self.sessions.get(&session) else {
             return;
         };
@@ -409,42 +644,20 @@ impl ServerActor {
         let flow = compute_flow_scenario(&scenario, self.cfg.flow);
 
         // Admission: evaluate the aggregate continuous bandwidth against the
-        // path to this client, weighted by the pricing contract.
-        let path = self.path_condition(api, client);
-        let mut requirement =
-            hermes_core::QosRequirement::continuous(flow.aggregate_bandwidth_bps(), 300, 0.05);
-        requirement.bandwidth_bps = flow.aggregate_bandwidth_bps();
-        let request = ConnectionRequest {
-            session,
-            class,
-            requirement,
-        };
+        // path to this client, weighted by the pricing contract. Under
+        // pressure, shed quality levels before giving up ("graceful
+        // degradation instead of session loss").
         // Release any previous document's reservation first.
         if let Some(conn) = self.admission.release(session) {
             api.net_mut().release(conn);
         }
-        let (decision, conn) = self.admission.evaluate(&request, path);
-        match decision {
-            AdmissionDecision::Reject { reason } => {
+        let shed = match self.admit_with_shedding(api, session, class, client, &flow) {
+            Ok(shed) => shed,
+            Err(reason) => {
                 api.send_reliable(self.node, client, ServiceMsg::DocError { session, reason });
                 return;
             }
-            AdmissionDecision::Admit { reserved_bps } => {
-                let conn = conn.expect("admit without connection id");
-                if !api.net_mut().reserve(conn, self.node, client, reserved_bps) {
-                    self.admission.release(session);
-                    api.send_reliable(
-                        self.node,
-                        client,
-                        ServiceMsg::DocError {
-                            session,
-                            reason: "reservation failed on path".into(),
-                        },
-                    );
-                    return;
-                }
-            }
-        }
+        };
 
         if let Some(u) = user {
             self.accounts.record_retrieval(u, document);
@@ -457,27 +670,42 @@ impl ServerActor {
         s.qos = ServerQosManager::new(self.cfg.grading_order, self.cfg.hysteresis);
         s.current_doc = Some(document);
         s.paused = false;
+        s.shed_levels = shed;
 
         // Ship the presentation scenario.
-        api.send_reliable(
-            self.node,
-            client,
-            ServiceMsg::ScenarioResponse {
-                session,
-                document,
-                markup,
-                lead_micros: flow.lead.as_micros(),
-            },
-        );
+        if send_scenario {
+            api.send_reliable(
+                self.node,
+                client,
+                ServiceMsg::ScenarioResponse {
+                    session,
+                    document,
+                    markup,
+                    lead_micros: flow.lead.as_micros(),
+                },
+            );
+        }
 
         // Activate the media servers: discrete media ship directly at their
         // send start; continuous media get a transmission loop.
         let floor = self.cfg.floor;
-        let now = api.now();
+        let resume_point = MediaTime::ZERO + resume_from;
+        let lead = flow.lead;
         for plan in &flow.plans {
-            let delay = (plan.send_start - MediaTime::ZERO).max(MediaDuration::ZERO);
+            // The component starts playing at `send_start + lead` on the
+            // presentation timeline. `elapsed` is how much of the stream the
+            // client has already played at the resume position: positive →
+            // fast-forward and send immediately; negative → the stream is
+            // still in the future, keep its (shifted) send start.
+            let elapsed = resume_from - ((plan.send_start + lead) - MediaTime::ZERO);
+            let delay = if elapsed > MediaDuration::ZERO {
+                MediaDuration::ZERO
+            } else {
+                (plan.send_start - resume_point).max(MediaDuration::ZERO)
+            };
             if plan.kind.is_continuous() {
                 let model = CodecModel::for_encoding(plan.encoding);
+                let start_level = GradeLevel(shed).min(model.max_level());
                 let stream_floor = match plan.kind {
                     MediaKind::Audio => GradeLevel(floor.audio_floor),
                     _ => GradeLevel(floor.video_floor),
@@ -485,6 +713,9 @@ impl ServerActor {
                 let s = self.sessions.get_mut(&session).unwrap();
                 s.qos
                     .register(plan.component, model, stream_floor, plan.requirement);
+                if start_level > GradeLevel::NOMINAL {
+                    s.qos.force_level(plan.component, start_level);
+                }
                 let object = self.db.store(plan.kind).get(&plan.source.object).cloned();
                 let Some(object) = object else {
                     api.send_reliable(
@@ -497,7 +728,19 @@ impl ServerActor {
                     );
                     continue;
                 };
-                let source = object.open(plan.component, plan.duration);
+                let mut source = object.open(plan.component, plan.duration);
+                if start_level > GradeLevel::NOMINAL {
+                    source.set_level(start_level);
+                }
+                if elapsed > MediaDuration::ZERO {
+                    // Fast-forward past the client's playout position: the
+                    // stream restarts where the viewer left off. Source pts
+                    // are stream-relative, so skip only the elapsed part.
+                    let ff_point = MediaTime::ZERO + elapsed;
+                    while source.frames_remaining() > 0 && source.next_pts() < ff_point {
+                        let _ = source.next_frame();
+                    }
+                }
                 let ssrc = ((session.raw() as u32) << 16) ^ plan.component.raw() as u32;
                 let s = self.sessions.get_mut(&session).unwrap();
                 s.streams.insert(
@@ -519,6 +762,10 @@ impl ServerActor {
                     timers::pack(session, plan.component),
                 );
             } else {
+                if resume_from > MediaDuration::ZERO && elapsed > MediaDuration::ZERO {
+                    // Discrete object already shown before the outage.
+                    continue;
+                }
                 // Discrete media: a single object over the reliable path at
                 // its send start.
                 let size = self
@@ -564,7 +811,6 @@ impl ServerActor {
                 );
             }
         }
-        let _ = now;
     }
 
     fn start_stream(
@@ -615,6 +861,9 @@ impl ServerActor {
         tx.frames_sent = 1;
         tx.bytes_sent = total as u64;
         let now = api.now();
+        if let Some(s) = self.sessions.get_mut(&session) {
+            s.last_media = now;
+        }
         // Segment to MTU-sized chunks, as TCP would.
         const SEGMENT: u32 = 1_400;
         let mut remaining = total;
@@ -706,6 +955,7 @@ impl ServerActor {
                     timers::TK_FRAME,
                     timers::pack(session, component),
                 );
+                s.last_media = now;
             }
             None => {
                 tx.done = true;

@@ -10,12 +10,19 @@ pub const TK_FRAME: u64 = 2;
 pub const TK_GRACE: u64 = 3;
 /// Server: ship a discrete media object.
 pub const TK_DISCRETE: u64 = 4;
+/// Server: emit the next per-session liveness heartbeat.
+pub const TK_HEARTBEAT: u64 = 5;
 /// Client: periodic feedback report.
 pub const TK_FEEDBACK: u64 = 10;
 /// Client: playout tick.
 pub const TK_TICK: u64 = 11;
 /// Client: prefill/priming check before starting the presentation.
 pub const TK_PRIME: u64 = 12;
+/// Client: retransmit an unacknowledged tracked control request
+/// (payload = request id).
+pub const TK_RETRY: u64 = 13;
+/// Client: liveness check — has the server been heard from recently?
+pub const TK_LIVENESS: u64 = 14;
 
 /// Pack a (session, component) pair into one timer payload.
 pub fn pack(session: SessionId, component: ComponentId) -> u64 {

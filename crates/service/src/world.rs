@@ -5,7 +5,7 @@ use crate::client_actor::{ClientActor, ClientConfig};
 use crate::protocol::{ServiceMsg, StackPath};
 use crate::server_actor::{ServerActor, ServerConfig};
 use hermes_core::{NodeId, ServerId};
-use hermes_simnet::{App, LinkSpec, Network, Sim, SimApi, SimRng, WireSize};
+use hermes_simnet::{App, FaultEvent, FaultKind, LinkSpec, Network, Sim, SimApi, SimRng, WireSize};
 use std::collections::BTreeMap;
 
 /// All actors of a running service deployment.
@@ -86,6 +86,17 @@ impl App<ServiceMsg> for ServiceWorld {
             }
         } else if let Some(client) = self.clients.get_mut(&node) {
             client.on_timer(api, key, payload);
+        }
+    }
+
+    fn on_fault(&mut self, api: &mut SimApi<'_, ServiceMsg>, event: FaultEvent) {
+        // A crashing server loses its volatile session state; reservations
+        // and admission slots are returned to the network so the restarted
+        // process starts from a clean (but billing-preserving) slate.
+        if let FaultKind::NodeCrash { node } = event.kind {
+            if let Some(server) = self.servers.get_mut(&node) {
+                server.on_crash(api);
+            }
         }
     }
 }

@@ -1,0 +1,228 @@
+//! Deterministic fault injection: node crashes/restarts, link partitions and
+//! link flapping, scheduled as ordinary events on the simulator's timer
+//! wheel.
+//!
+//! A [`FaultPlan`] is a declarative schedule built with the combinators
+//! below and installed with [`crate::Sim::install_faults`]. Every fault is
+//! applied at a deterministic simulation instant, so a run with a given
+//! (topology seed, sim seed, fault plan) triple is exactly reproducible —
+//! including runs that also use jitter/loss/congestion models, which keep
+//! drawing from their own per-link RNG streams. Optional timing jitter on
+//! the plan itself draws from a [`SimRng`], keeping perturbed schedules
+//! seeded too.
+//!
+//! Semantics:
+//!
+//! * **Node crash** — the node's "process" dies: queued deliveries and
+//!   timers addressed to it are discarded when they fire, and reliable
+//!   channels touching the node are torn down (outstanding segments are
+//!   abandoned rather than wedging the in-order release gate).
+//! * **Node restart** — the node comes back with a fresh incarnation:
+//!   timers and retransmission chains belonging to the crashed incarnation
+//!   stay dead; the application is told so it can rebuild volatile state.
+//! * **Link partition** — both directions of a link go down; packets
+//!   offered to a down link are dropped (the reliable transport keeps
+//!   retrying with backoff, so short partitions heal transparently).
+//! * **Link flap** — a periodic down/up cycle, expanded at install time
+//!   into plain partition/heal events.
+
+use crate::rng::SimRng;
+use hermes_core::{MediaDuration, MediaTime, NodeId};
+
+/// One kind of injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The node's process dies; volatile state and in-flight work are lost.
+    NodeCrash {
+        /// The crashing node.
+        node: NodeId,
+    },
+    /// The node's process comes back (a fresh incarnation).
+    NodeRestart {
+        /// The restarting node.
+        node: NodeId,
+    },
+    /// Both directions of the `a`–`b` link go down.
+    LinkDown {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Both directions of the `a`–`b` link come back up.
+    LinkUp {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+}
+
+/// A fault scheduled at an absolute simulation instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the fault is applied.
+    pub at: MediaTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A declarative, deterministic schedule of faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedule a raw fault.
+    pub fn at(mut self, at: MediaTime, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at, kind });
+        self
+    }
+
+    /// Crash `node` at `at` (no restart).
+    pub fn crash(self, node: NodeId, at: MediaTime) -> Self {
+        self.at(at, FaultKind::NodeCrash { node })
+    }
+
+    /// Restart `node` at `at`.
+    pub fn restart(self, node: NodeId, at: MediaTime) -> Self {
+        self.at(at, FaultKind::NodeRestart { node })
+    }
+
+    /// Crash `node` at `at` and restart it `down_for` later.
+    pub fn crash_for(self, node: NodeId, at: MediaTime, down_for: MediaDuration) -> Self {
+        self.crash(node, at).restart(node, at + down_for)
+    }
+
+    /// Partition the `a`–`b` link during `[from, until)`.
+    pub fn partition(self, a: NodeId, b: NodeId, from: MediaTime, until: MediaTime) -> Self {
+        self.at(from, FaultKind::LinkDown { a, b })
+            .at(until, FaultKind::LinkUp { a, b })
+    }
+
+    /// Flap the `a`–`b` link: starting at `start`, `cycles` periods of
+    /// `period` each beginning with `down_for` of outage.
+    pub fn flap(
+        mut self,
+        a: NodeId,
+        b: NodeId,
+        start: MediaTime,
+        period: MediaDuration,
+        down_for: MediaDuration,
+        cycles: u32,
+    ) -> Self {
+        let down_for = down_for.min(period);
+        for i in 0..cycles {
+            let t = start + period * i as i64;
+            self = self.partition(a, b, t, t + down_for);
+        }
+        self
+    }
+
+    /// Perturb every event time by a uniform draw from `[0, max_jitter)`.
+    /// The draw comes from the supplied seeded RNG, so a jittered plan is
+    /// still fully reproducible.
+    pub fn jittered(mut self, rng: &mut SimRng, max_jitter: MediaDuration) -> Self {
+        let span = max_jitter.as_micros().max(0) as u64;
+        if span > 0 {
+            for ev in &mut self.events {
+                ev.at += MediaDuration::from_micros(rng.range_u64(0, span) as i64);
+            }
+        }
+        self
+    }
+
+    /// The scheduled events, sorted by time (stable: ties keep plan order,
+    /// so a `crash`+`restart` at the same instant applies in that order).
+    pub fn events(&self) -> Vec<FaultEvent> {
+        let mut evs = self.events.clone();
+        evs.sort_by_key(|e| e.at);
+        evs
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(id: u64) -> NodeId {
+        NodeId::new(id)
+    }
+
+    #[test]
+    fn builders_expand_to_events() {
+        let plan = FaultPlan::new()
+            .crash_for(n(1), MediaTime::from_secs(5), MediaDuration::from_secs(2))
+            .partition(n(0), n(1), MediaTime::from_secs(1), MediaTime::from_secs(3));
+        let evs = plan.events();
+        assert_eq!(evs.len(), 4);
+        // Sorted by time.
+        assert!(evs.windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(evs[0].kind, FaultKind::LinkDown { a: n(0), b: n(1) },);
+        assert_eq!(evs[2].kind, FaultKind::NodeCrash { node: n(1) });
+        assert_eq!(evs[3].at, MediaTime::from_secs(7));
+    }
+
+    #[test]
+    fn flap_expands_cycles() {
+        let plan = FaultPlan::new().flap(
+            n(0),
+            n(1),
+            MediaTime::from_secs(1),
+            MediaDuration::from_secs(10),
+            MediaDuration::from_secs(2),
+            3,
+        );
+        let evs = plan.events();
+        assert_eq!(evs.len(), 6);
+        assert_eq!(evs[0].at, MediaTime::from_secs(1));
+        assert_eq!(evs[1].at, MediaTime::from_secs(3));
+        assert_eq!(evs[4].at, MediaTime::from_secs(21));
+        // Down/up alternate.
+        assert!(matches!(evs[4].kind, FaultKind::LinkDown { .. }));
+        assert!(matches!(evs[5].kind, FaultKind::LinkUp { .. }));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let base =
+            FaultPlan::new().crash_for(n(2), MediaTime::from_secs(10), MediaDuration::from_secs(1));
+        let j1 = base.clone().jittered(
+            &mut SimRng::seed_from_u64(7),
+            MediaDuration::from_millis(500),
+        );
+        let j2 = base.clone().jittered(
+            &mut SimRng::seed_from_u64(7),
+            MediaDuration::from_millis(500),
+        );
+        assert_eq!(j1, j2, "same seed, same perturbation");
+        for (b, j) in base.events().iter().zip(j1.events()) {
+            assert!(j.at >= b.at && j.at < b.at + MediaDuration::from_millis(500));
+        }
+    }
+
+    #[test]
+    fn same_instant_keeps_plan_order() {
+        let t = MediaTime::from_secs(4);
+        let plan = FaultPlan::new().restart(n(1), t).crash(n(1), t);
+        let evs = plan.events();
+        assert!(matches!(evs[0].kind, FaultKind::NodeRestart { .. }));
+        assert!(matches!(evs[1].kind, FaultKind::NodeCrash { .. }));
+    }
+}

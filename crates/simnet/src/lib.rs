@@ -13,16 +13,20 @@
 //!   and per-connection bandwidth reservations;
 //! * [`sim`] — the event engine with datagram and reliable transports
 //!   (store-and-forward, per-hop queueing, ARQ with backoff);
+//! * [`faults`] — deterministic fault injection: scheduled node
+//!   crash/restart, link partition/heal and link flapping;
 //! * [`metrics`] — accumulators, histograms and rate meters.
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod metrics;
 pub mod models;
 pub mod rng;
 pub mod sim;
 pub mod topology;
 
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{Accumulator, DurationHistogram, RateMeter};
 pub use models::{CongestionEpoch, CongestionProfile, JitterModel, LossModel, LossState};
 pub use rng::SimRng;

@@ -358,6 +358,86 @@ mod tests {
     }
 
     #[test]
+    fn steady_state_loss_analytic() {
+        assert_eq!(LossModel::None.steady_state_loss(), 0.0);
+        assert_eq!(LossModel::Bernoulli { p: 0.25 }.steady_state_loss(), 0.25);
+        // π_bad = p_gb / (p_gb + p_bg) = 0.02 / 0.22; loss = (1-π)·lg + π·lb.
+        let m = LossModel::GilbertElliott {
+            p_gb: 0.02,
+            p_bg: 0.2,
+            loss_good: 0.001,
+            loss_bad: 0.3,
+        };
+        let pi_bad = 0.02 / 0.22;
+        let expect = (1.0 - pi_bad) * 0.001 + pi_bad * 0.3;
+        assert!((m.steady_state_loss() - expect).abs() < 1e-12);
+        // Degenerate chain (no transitions at all) stays in the good state.
+        let frozen = LossModel::GilbertElliott {
+            p_gb: 0.0,
+            p_bg: 0.0,
+            loss_good: 0.07,
+            loss_bad: 0.9,
+        };
+        assert_eq!(frozen.steady_state_loss(), 0.07);
+    }
+
+    #[test]
+    fn gilbert_elliott_forced_transitions_alternate() {
+        // p_gb = p_bg = 1 forces a strict good/bad alternation; with
+        // loss_bad = 1 and loss_good = 0 every second packet is lost,
+        // starting with the first (transition happens before sampling).
+        let mut r = rng();
+        let m = LossModel::GilbertElliott {
+            p_gb: 1.0,
+            p_bg: 1.0,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        };
+        let mut st = LossState::default();
+        for i in 0..100 {
+            let lost = m.sample(&mut st, &mut r);
+            assert_eq!(lost, i % 2 == 0, "packet {i}");
+            assert_eq!(st.bad, i % 2 == 0, "state after packet {i}");
+        }
+        // And the analytic long-run rate agrees: π_bad = 1/2, loss = 1/2.
+        assert_eq!(m.steady_state_loss(), 0.5);
+    }
+
+    #[test]
+    fn congestion_epoch_boundaries() {
+        let p = CongestionProfile::new(vec![CongestionEpoch {
+            start: MediaTime::from_secs(10),
+            end: MediaTime::from_secs(20),
+            load: 0.6,
+            extra_loss: 0.04,
+        }]);
+        let eps = MediaTime::from_micros(1) - MediaTime::ZERO;
+        // Start is inclusive…
+        assert_eq!(p.load_at(MediaTime::from_secs(10)), 0.6);
+        assert_eq!(p.extra_loss_at(MediaTime::from_secs(10)), 0.04);
+        assert_eq!(p.extra_loss_at(MediaTime::from_secs(10) - eps), 0.0);
+        // …end is exclusive.
+        assert_eq!(p.load_at(MediaTime::from_secs(20)), 0.0);
+        assert_eq!(p.extra_loss_at(MediaTime::from_secs(20)), 0.0);
+        assert_eq!(p.load_at(MediaTime::from_secs(20) - eps), 0.6);
+    }
+
+    #[test]
+    fn zero_length_epoch_is_inert() {
+        // start == end is accepted by the validator but matches no instant:
+        // [t, t) is empty under inclusive-start/exclusive-end.
+        let t = MediaTime::from_secs(5);
+        let p = CongestionProfile::new(vec![CongestionEpoch {
+            start: t,
+            end: t,
+            load: 0.9,
+            extra_loss: 0.5,
+        }]);
+        assert_eq!(p.load_at(t), 0.0);
+        assert_eq!(p.extra_loss_at(t), 0.0);
+    }
+
+    #[test]
     fn congestion_profile_lookup() {
         let p = CongestionProfile::new(vec![
             CongestionEpoch {

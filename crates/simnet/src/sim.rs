@@ -20,11 +20,12 @@
 //! shortest path, so queueing interacts correctly between flows sharing a
 //! link.
 
+use crate::faults::{FaultEvent, FaultKind, FaultPlan};
 use crate::rng::SimRng;
 use crate::topology::{LinkOutcome, Network};
 use hermes_core::{MediaDuration, MediaTime, NodeId};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
 
 /// Anything sent through the network must report its wire size.
 pub trait WireSize {
@@ -38,6 +39,12 @@ pub trait App<M>: Sized {
     fn on_message(&mut self, api: &mut SimApi<'_, M>, node: NodeId, from: NodeId, msg: M);
     /// A timer set with [`SimApi::set_timer`] fired at `node`.
     fn on_timer(&mut self, api: &mut SimApi<'_, M>, node: NodeId, key: u64, payload: u64);
+    /// An injected fault was just applied to the engine (see [`FaultKind`]).
+    /// Crash faults should clear the application's volatile state for the
+    /// node; restart faults may rebuild it. Default: ignore faults.
+    fn on_fault(&mut self, api: &mut SimApi<'_, M>, event: FaultEvent) {
+        let _ = (api, event);
+    }
 }
 
 /// Which transport a message used.
@@ -61,15 +68,29 @@ enum Pending<M> {
         sent_at: MediaTime,
         /// Reliable-stream sequence number (None for datagrams).
         seq_no: Option<u64>,
+        /// Incarnation of the sending node's stack when the send started:
+        /// retransmission chains die with the incarnation that created them.
+        src_inc: u64,
     },
     /// Final delivery to the application.
-    Deliver { node: NodeId, from: NodeId, msg: M },
+    Deliver {
+        node: NodeId,
+        from: NodeId,
+        msg: M,
+        /// Incarnation of the destination at scheduling time: a delivery
+        /// addressed to a crashed (or since-restarted) process is discarded.
+        inc: u64,
+    },
     /// A timer.
     Timer {
         node: NodeId,
         key: u64,
         payload: u64,
+        /// Incarnation of the node when the timer was set.
+        inc: u64,
     },
+    /// An injected fault to apply.
+    Fault(FaultKind),
 }
 
 struct Scheduled<M> {
@@ -108,6 +129,11 @@ pub struct SimStats {
     pub reliable_failures: u64,
     /// Timers fired.
     pub timers_fired: u64,
+    /// Injected faults applied.
+    pub faults_applied: u64,
+    /// Deliveries, timers and retransmissions discarded because the node
+    /// involved was crashed (or had restarted into a new incarnation).
+    pub fault_drops: u64,
 }
 
 /// Engine configuration.
@@ -145,9 +171,21 @@ struct Core<M> {
     /// Monotone delivery clock per reliable pair: per-packet jitter must not
     /// reorder deliveries that the sequence gate already released.
     reliable_release: HashMap<(NodeId, NodeId), MediaTime>,
+    /// Sequence numbers the sender abandoned (retry budget exhausted or the
+    /// sender crashed): the release gate skips them instead of wedging.
+    reliable_dead: HashMap<(NodeId, NodeId), BTreeSet<u64>>,
+    /// Crashed nodes.
+    dead: HashSet<NodeId>,
+    /// Process incarnation per node (bumped on restart). Absent = 0.
+    incarnation: HashMap<NodeId, u64>,
 }
 
 impl<M: WireSize + Clone> Core<M> {
+    /// Current incarnation of a node's process.
+    fn inc(&self, node: NodeId) -> u64 {
+        self.incarnation.get(&node).copied().unwrap_or(0)
+    }
+
     /// Schedule a reliable delivery no earlier than every previously
     /// released delivery of the same (src, dst) pair.
     fn schedule_reliable_delivery(
@@ -163,14 +201,82 @@ impl<M: WireSize + Clone> Core<M> {
             .or_insert(MediaTime::ZERO);
         let at = arrival.max(*slot + MediaDuration::from_micros(1));
         *slot = at;
+        let inc = self.inc(dst);
         self.schedule(
             at,
             Pending::Deliver {
                 node: dst,
                 from,
                 msg,
+                inc,
             },
         );
+    }
+
+    /// Release everything now deliverable on a reliable pair: flush held
+    /// successors of the expected sequence number and skip sequence numbers
+    /// the sender abandoned, repeatedly, until the gate blocks again.
+    fn advance_reliable_gate(&mut self, from: NodeId, dst: NodeId, arrival: MediaTime) {
+        loop {
+            let expected = self.reliable_rx.get(&(from, dst)).copied().unwrap_or(0);
+            if let Some(deadset) = self.reliable_dead.get_mut(&(from, dst)) {
+                if deadset.remove(&expected) {
+                    self.reliable_rx.insert((from, dst), expected + 1);
+                    continue;
+                }
+            }
+            if let Some(held) = self.reliable_hold.get_mut(&(from, dst)) {
+                if let Some(m) = held.remove(&expected) {
+                    self.reliable_rx.insert((from, dst), expected + 1);
+                    self.schedule_reliable_delivery(from, dst, arrival, m);
+                    continue;
+                }
+            }
+            break;
+        }
+    }
+
+    /// Tear down engine-level reliable-channel state involving a crashed
+    /// node: outstanding sequence numbers are abandoned on both sides so
+    /// surviving peers' gates cannot wedge on segments that died with the
+    /// process (connection-reset semantics).
+    fn teardown_reliable_channels(&mut self, node: NodeId) {
+        let pairs: BTreeSet<(NodeId, NodeId)> = self
+            .reliable_tx
+            .keys()
+            .chain(self.reliable_rx.keys())
+            .chain(self.reliable_hold.keys())
+            .copied()
+            .filter(|(a, b)| *a == node || *b == node)
+            .collect();
+        for pair in pairs {
+            let tx = self.reliable_tx.get(&pair).copied().unwrap_or(0);
+            let rx = self.reliable_rx.entry(pair).or_insert(0);
+            *rx = (*rx).max(tx);
+            self.reliable_hold.remove(&pair);
+            self.reliable_dead.remove(&pair);
+        }
+    }
+
+    /// Apply one injected fault to the engine state.
+    fn apply_fault(&mut self, kind: FaultKind) {
+        self.stats.faults_applied += 1;
+        match kind {
+            FaultKind::NodeCrash { node } => {
+                self.dead.insert(node);
+                self.teardown_reliable_channels(node);
+            }
+            FaultKind::NodeRestart { node } => {
+                self.dead.remove(&node);
+                *self.incarnation.entry(node).or_insert(0) += 1;
+            }
+            FaultKind::LinkDown { a, b } => {
+                self.net.set_link_up(a, b, false);
+            }
+            FaultKind::LinkUp { a, b } => {
+                self.net.set_link_up(a, b, true);
+            }
+        }
     }
 
     fn schedule(&mut self, at: MediaTime, pending: Pending<M>) {
@@ -187,15 +293,21 @@ impl<M: WireSize + Clone> Core<M> {
         transport: Transport,
         attempt: u32,
     ) -> bool {
+        if self.dead.contains(&from) {
+            // A crashed process cannot transmit.
+            return false;
+        }
         if from == to {
             // Local delivery: still asynchronous (next event), zero delay.
             let now = self.now;
+            let inc = self.inc(to);
             self.schedule(
                 now,
                 Pending::Deliver {
                     node: to,
                     from,
                     msg,
+                    inc,
                 },
             );
             return true;
@@ -213,6 +325,7 @@ impl<M: WireSize + Clone> Core<M> {
             }
         };
         let now = self.now;
+        let src_inc = self.inc(from);
         self.schedule(
             now,
             Pending::Hop {
@@ -224,6 +337,7 @@ impl<M: WireSize + Clone> Core<M> {
                 attempt,
                 sent_at: now,
                 seq_no,
+                src_inc,
             },
         );
         true
@@ -240,7 +354,14 @@ impl<M: WireSize + Clone> Core<M> {
         attempt: u32,
         sent_at: MediaTime,
         seq_no: Option<u64>,
+        src_inc: u64,
     ) {
+        if self.dead.contains(&from) || src_inc != self.inc(from) {
+            // The sending process died (or restarted) while this packet or
+            // its retransmission chain was in flight: the chain dies too.
+            self.stats.fault_drops += 1;
+            return;
+        }
         let here = path[hop];
         let next = path[hop + 1];
         let size = msg.wire_size();
@@ -256,35 +377,26 @@ impl<M: WireSize + Clone> Core<M> {
                     let dst = *path.last().unwrap();
                     match (transport, seq_no) {
                         (Transport::Datagram, _) | (Transport::Reliable, None) => {
+                            let inc = self.inc(dst);
                             self.schedule(
                                 arrival,
                                 Pending::Deliver {
                                     node: dst,
                                     from,
                                     msg,
+                                    inc,
                                 },
                             );
                         }
                         (Transport::Reliable, Some(seq)) => {
                             // In-order release: deliver if this is the next
                             // expected sequence number, then flush any held
-                            // successors; otherwise hold.
+                            // or abandoned successors; otherwise hold.
                             let next = self.reliable_rx.entry((from, dst)).or_insert(0);
                             if seq == *next {
                                 *next += 1;
                                 self.schedule_reliable_delivery(from, dst, arrival, msg);
-                                let mut expected = *self.reliable_rx.get(&(from, dst)).unwrap();
-                                let mut flushed = Vec::new();
-                                if let Some(held) = self.reliable_hold.get_mut(&(from, dst)) {
-                                    while let Some(m) = held.remove(&expected) {
-                                        flushed.push(m);
-                                        expected += 1;
-                                    }
-                                    self.reliable_rx.insert((from, dst), expected);
-                                }
-                                for m in flushed {
-                                    self.schedule_reliable_delivery(from, dst, arrival, m);
-                                }
+                                self.advance_reliable_gate(from, dst, arrival);
                             } else if seq > *next {
                                 self.reliable_hold
                                     .entry((from, dst))
@@ -306,6 +418,7 @@ impl<M: WireSize + Clone> Core<M> {
                             attempt,
                             sent_at,
                             seq_no,
+                            src_inc,
                         },
                     );
                 }
@@ -317,6 +430,18 @@ impl<M: WireSize + Clone> Core<M> {
                 Transport::Reliable => {
                     if attempt + 1 >= self.cfg.max_attempts {
                         self.stats.reliable_failures += 1;
+                        // Abandoning a sequence number must not wedge the
+                        // receiver's in-order gate: mark it dead so later
+                        // segments can still be released.
+                        if let Some(seq) = seq_no {
+                            let dst = *path.last().unwrap();
+                            self.reliable_dead
+                                .entry((from, dst))
+                                .or_default()
+                                .insert(seq);
+                            let now = self.now;
+                            self.advance_reliable_gate(from, dst, now);
+                        }
                     } else {
                         self.stats.retransmissions += 1;
                         // Exponential backoff from the original send time.
@@ -334,6 +459,7 @@ impl<M: WireSize + Clone> Core<M> {
                                 attempt: attempt + 1,
                                 sent_at,
                                 seq_no,
+                                src_inc,
                             },
                         );
                     }
@@ -367,11 +493,25 @@ impl<'a, M: WireSize + Clone> SimApi<'a, M> {
     pub fn send_reliable(&mut self, from: NodeId, to: NodeId, msg: M) -> bool {
         self.core.start_send(from, to, msg, Transport::Reliable, 0)
     }
-    /// Arrange for `on_timer(node, key, payload)` after `delay`.
+    /// Arrange for `on_timer(node, key, payload)` after `delay`. Timers die
+    /// with the incarnation that set them: if the node crashes (or crashes
+    /// and restarts) before the timer fires, it is silently discarded.
     pub fn set_timer(&mut self, node: NodeId, delay: MediaDuration, key: u64, payload: u64) {
         let at = self.core.now + delay.max(MediaDuration::ZERO);
-        self.core
-            .schedule(at, Pending::Timer { node, key, payload });
+        let inc = self.core.inc(node);
+        self.core.schedule(
+            at,
+            Pending::Timer {
+                node,
+                key,
+                payload,
+                inc,
+            },
+        );
+    }
+    /// True unless the node is currently crashed by an injected fault.
+    pub fn node_is_up(&self, node: NodeId) -> bool {
+        !self.core.dead.contains(&node)
     }
     /// The shared RNG (application-level randomness draws from the same
     /// seeded stream, keeping whole runs reproducible).
@@ -414,6 +554,9 @@ impl<M: WireSize + Clone, A: App<M>> Sim<M, A> {
                 reliable_rx: HashMap::new(),
                 reliable_hold: HashMap::new(),
                 reliable_release: HashMap::new(),
+                reliable_dead: HashMap::new(),
+                dead: HashSet::new(),
+                incarnation: HashMap::new(),
             },
         }
     }
@@ -442,6 +585,10 @@ impl<M: WireSize + Clone, A: App<M>> Sim<M, A> {
     pub fn net_mut(&mut self) -> &mut Network {
         &mut self.core.net
     }
+    /// True unless the node is currently crashed by an injected fault.
+    pub fn node_is_up(&self, node: NodeId) -> bool {
+        !self.core.dead.contains(&node)
+    }
 
     /// Run app code "from outside" (initial kicks, mid-run interventions).
     pub fn with_api<R>(&mut self, f: impl FnOnce(&mut A, &mut SimApi<'_, M>) -> R) -> R {
@@ -468,23 +615,51 @@ impl<M: WireSize + Clone, A: App<M>> Sim<M, A> {
                 attempt,
                 sent_at,
                 seq_no,
+                src_inc,
             } => {
-                self.core
-                    .process_hop(path, hop, from, msg, transport, attempt, sent_at, seq_no);
+                self.core.process_hop(
+                    path, hop, from, msg, transport, attempt, sent_at, seq_no, src_inc,
+                );
             }
-            Pending::Deliver { node, from, msg } => {
+            Pending::Deliver {
+                node,
+                from,
+                msg,
+                inc,
+            } => {
+                if self.core.dead.contains(&node) || inc != self.core.inc(node) {
+                    self.core.stats.fault_drops += 1;
+                    return true;
+                }
                 self.core.stats.delivered += 1;
                 let mut api = SimApi {
                     core: &mut self.core,
                 };
                 self.app.on_message(&mut api, node, from, msg);
             }
-            Pending::Timer { node, key, payload } => {
+            Pending::Timer {
+                node,
+                key,
+                payload,
+                inc,
+            } => {
+                if self.core.dead.contains(&node) || inc != self.core.inc(node) {
+                    self.core.stats.fault_drops += 1;
+                    return true;
+                }
                 self.core.stats.timers_fired += 1;
                 let mut api = SimApi {
                     core: &mut self.core,
                 };
                 self.app.on_timer(&mut api, node, key, payload);
+            }
+            Pending::Fault(kind) => {
+                self.core.apply_fault(kind);
+                let at = self.core.now;
+                let mut api = SimApi {
+                    core: &mut self.core,
+                };
+                self.app.on_fault(&mut api, FaultEvent { at, kind });
             }
         }
         true
@@ -515,6 +690,20 @@ impl<M: WireSize + Clone, A: App<M>> Sim<M, A> {
         }
         self.core.now = self.core.now.max(until);
         n
+    }
+
+    /// Schedule a single fault. Instants in the past are clamped to `now`.
+    pub fn inject_fault(&mut self, at: MediaTime, kind: FaultKind) {
+        let at = at.max(self.core.now);
+        self.core.schedule(at, Pending::Fault(kind));
+    }
+
+    /// Install every event of a [`FaultPlan`] on the timer wheel. Events
+    /// scheduled for the same instant apply in plan order.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        for ev in plan.events() {
+            self.inject_fault(ev.at, ev.kind);
+        }
     }
 }
 
@@ -609,8 +798,11 @@ mod tests {
 
     #[test]
     fn reliable_survives_heavy_loss() {
+        // Seed pinned to a draw where no message exhausts its retry budget:
+        // with p = 0.5 and 8 attempts, each message independently fails with
+        // probability 2^-8, so some seeds legitimately exceed the budget.
         let mut sim = Sim::new(
-            two_node_net(LossModel::Bernoulli { p: 0.5 }),
+            two_node_net_seeded(LossModel::Bernoulli { p: 0.5 }, 2),
             Recorder::default(),
             2,
         );
@@ -744,6 +936,163 @@ mod tests {
         sim.with_api(|_, api| {
             assert!(!api.send(n(0), n(1), Msg("x".into(), 10)));
         });
+    }
+
+    #[test]
+    fn crash_drops_deliveries_and_timers() {
+        let mut sim = Sim::new(two_node_net(LossModel::None), Recorder::default(), 11);
+        sim.with_api(|_, api| {
+            api.set_timer(n(1), MediaDuration::from_millis(50), 9, 0);
+        });
+        sim.inject_fault(
+            MediaTime::from_millis(10),
+            FaultKind::NodeCrash { node: n(1) },
+        );
+        sim.run_until(MediaTime::from_millis(20));
+        assert!(!sim.node_is_up(n(1)));
+        // A message sent toward the dead node is dropped at delivery.
+        sim.with_api(|_, api| {
+            assert!(api.send_reliable(n(0), n(1), Msg("x".into(), 100)));
+        });
+        sim.run(1_000);
+        assert!(sim.app().got.is_empty(), "dead node received a message");
+        assert!(sim.app().timers.is_empty(), "dead node's timer fired");
+        assert!(sim.stats().fault_drops > 0);
+    }
+
+    #[test]
+    fn crashed_node_cannot_send() {
+        let mut sim = Sim::new(two_node_net(LossModel::None), Recorder::default(), 12);
+        sim.inject_fault(MediaTime::ZERO, FaultKind::NodeCrash { node: n(0) });
+        sim.run(1);
+        sim.with_api(|_, api| {
+            assert!(!api.send(n(0), n(1), Msg("x".into(), 100)));
+        });
+    }
+
+    #[test]
+    fn restart_revives_with_fresh_incarnation() {
+        let mut sim = Sim::new(two_node_net(LossModel::None), Recorder::default(), 13);
+        // Timer set by incarnation 0; node crashes and restarts before it
+        // fires — the stale timer must die with its incarnation.
+        sim.with_api(|_, api| {
+            api.set_timer(n(1), MediaDuration::from_millis(100), 1, 1);
+        });
+        sim.install_faults(&FaultPlan::new().crash_for(
+            n(1),
+            MediaTime::from_millis(10),
+            MediaDuration::from_millis(20),
+        ));
+        sim.run_until(MediaTime::from_millis(40));
+        assert!(sim.node_is_up(n(1)));
+        // Fresh traffic and timers work after the restart.
+        sim.with_api(|_, api| {
+            api.send_reliable(n(0), n(1), Msg("hello-again".into(), 200));
+            api.set_timer(n(1), MediaDuration::from_millis(5), 2, 2);
+        });
+        sim.run_until(MediaTime::from_millis(200));
+        assert!(
+            sim.app().timers.iter().all(|t| t.1 == 2),
+            "stale timer fired"
+        );
+        assert_eq!(sim.app().timers.len(), 1);
+        assert_eq!(sim.app().got.len(), 1);
+        assert_eq!(sim.app().got[0].3, "hello-again");
+    }
+
+    #[test]
+    fn partition_heals_through_reliable_arq() {
+        let mut sim = Sim::new(two_node_net(LossModel::None), Recorder::default(), 14);
+        // Partition for 1 s starting just before the send: every attempt
+        // during the outage is dropped, but backoff retries outlive it.
+        sim.install_faults(&FaultPlan::new().partition(
+            n(0),
+            n(1),
+            MediaTime::ZERO,
+            MediaTime::from_secs(1),
+        ));
+        sim.run(1); // apply LinkDown
+        sim.with_api(|_, api| {
+            for i in 0..5 {
+                api.send_reliable(n(0), n(1), Msg(format!("{i}"), 300));
+            }
+        });
+        sim.run(100_000);
+        assert_eq!(sim.app().got.len(), 5, "messages lost across the partition");
+        assert!(sim.app().got.iter().all(|g| g.0 >= MediaTime::from_secs(1)));
+        assert_eq!(sim.stats().reliable_failures, 0);
+        assert!(sim.net().total_stats().packets_dropped_down > 0);
+        // Datagrams sent during the outage are simply gone.
+        assert!(sim.net().link_is_up(n(0), n(1)));
+    }
+
+    #[test]
+    fn abandoned_sequence_does_not_wedge_the_gate() {
+        // Partition longer than the whole retry window (~25.4 s at default
+        // rto/attempts): the first message exhausts its budget, and later
+        // messages sent after the heal must still be delivered.
+        let mut sim = Sim::new(two_node_net(LossModel::None), Recorder::default(), 15);
+        sim.install_faults(&FaultPlan::new().partition(
+            n(0),
+            n(1),
+            MediaTime::ZERO,
+            MediaTime::from_secs(60),
+        ));
+        sim.run(1);
+        sim.with_api(|_, api| {
+            api.send_reliable(n(0), n(1), Msg("doomed".into(), 300));
+        });
+        sim.run_until(MediaTime::from_secs(61));
+        assert_eq!(sim.stats().reliable_failures, 1);
+        assert!(sim.app().got.is_empty());
+        sim.with_api(|_, api| {
+            api.send_reliable(n(0), n(1), Msg("after-heal".into(), 300));
+        });
+        sim.run(100_000);
+        assert_eq!(sim.app().got.len(), 1, "gate wedged on abandoned seq");
+        assert_eq!(sim.app().got[0].3, "after-heal");
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let trace = |seed| {
+            let mut sim = Sim::new(
+                two_node_net_seeded(LossModel::Bernoulli { p: 0.2 }, seed),
+                Recorder::default(),
+                seed,
+            );
+            sim.install_faults(
+                &FaultPlan::new()
+                    .crash_for(
+                        n(1),
+                        MediaTime::from_millis(30),
+                        MediaDuration::from_millis(40),
+                    )
+                    .flap(
+                        n(0),
+                        n(1),
+                        MediaTime::from_millis(100),
+                        MediaDuration::from_millis(50),
+                        MediaDuration::from_millis(10),
+                        4,
+                    ),
+            );
+            sim.with_api(|_, api| {
+                for i in 0..40 {
+                    api.send_reliable(n(0), n(1), Msg(format!("{i:02}"), 200));
+                }
+            });
+            sim.run(100_000);
+            (
+                sim.app()
+                    .got
+                    .iter()
+                    .map(|g| (g.0, g.3.clone()))
+                    .collect::<Vec<_>>(),
+                sim.stats(),
+            )
+        };
+        assert_eq!(trace(42), trace(42));
     }
 
     #[test]

@@ -66,6 +66,9 @@ pub struct LinkStats {
     pub packets_lost: u64,
     /// Packets dropped because the queue overflowed.
     pub packets_dropped_queue: u64,
+    /// Packets dropped because the link was administratively down
+    /// (fault-injected partition).
+    pub packets_dropped_down: u64,
 }
 
 /// Runtime state of a directed link.
@@ -84,6 +87,8 @@ pub struct Link {
     pub stats: LinkStats,
     /// Bandwidth reserved by admitted connections, bits/second.
     pub reserved_bps: u64,
+    /// False while a fault-injected partition holds the link down.
+    pub up: bool,
 }
 
 /// What happened to one packet offered to a link at time `t`.
@@ -114,6 +119,7 @@ impl Link {
             rng,
             stats: LinkStats::default(),
             reserved_bps: 0,
+            up: true,
         }
     }
 
@@ -133,6 +139,13 @@ impl Link {
     /// Offer a packet of `size_bytes` to the link at time `now`; returns the
     /// outcome and updates queue/loss state and counters.
     pub fn transmit(&mut self, now: MediaTime, size_bytes: usize) -> LinkOutcome {
+        if !self.up {
+            // Partitioned: the packet vanishes at the cut. `Lost` (not
+            // `QueueFull`) so the reliable transport keeps retrying and
+            // heals transparently when the partition is lifted.
+            self.stats.packets_dropped_down += 1;
+            return LinkOutcome::Lost { tx_end: now };
+        }
         // Queue check: bytes that would wait ahead of this packet.
         let wait = if self.busy_until > now {
             self.busy_until - now
@@ -227,6 +240,29 @@ impl Network {
     /// Mutable access to a link.
     pub fn link_mut(&mut self, from: NodeId, to: NodeId) -> Option<&mut Link> {
         self.links.get_mut(&(from, to))
+    }
+
+    /// Bring both directions of the `a`–`b` link up or down. Returns true if
+    /// at least one direction exists. Routing is untouched: packets offered
+    /// to a down link are dropped in flight, modelling a partition rather
+    /// than a topology change.
+    pub fn set_link_up(&mut self, a: NodeId, b: NodeId, up: bool) -> bool {
+        let mut found = false;
+        for key in [(a, b), (b, a)] {
+            if let Some(l) = self.links.get_mut(&key) {
+                l.up = up;
+                found = true;
+            }
+        }
+        found
+    }
+
+    /// True when both existing directions of the `a`–`b` link are up.
+    pub fn link_is_up(&self, a: NodeId, b: NodeId) -> bool {
+        [(a, b), (b, a)]
+            .iter()
+            .filter_map(|k| self.links.get(k))
+            .all(|l| l.up)
     }
 
     /// (Re)compute all-pairs next-hop routes by BFS (hop count metric).
@@ -363,6 +399,7 @@ impl Network {
             s.bytes_sent += l.stats.bytes_sent;
             s.packets_lost += l.stats.packets_lost;
             s.packets_dropped_queue += l.stats.packets_dropped_queue;
+            s.packets_dropped_down += l.stats.packets_dropped_down;
         }
         s
     }

@@ -83,6 +83,74 @@ fn pathological_nesting_rejected_without_stack_overflow() {
     assert_eq!(doc.sentences[0].body.len(), 1);
 }
 
+/// Every byte-prefix of a known-good document either parses or errors with
+/// a position — truncation mid-tag, mid-attribute, or mid-quote must never
+/// panic. The full document and the empty prefix both parse; at least one
+/// intermediate truncation must be rejected.
+#[test]
+fn truncated_documents_error_cleanly() {
+    let full = hermes_od::hml::FIGURE2_MARKUP;
+    let mut rejected = 0usize;
+    for end in 0..=full.len() {
+        let prefix = &full[..end]; // ASCII markup: every index is a boundary
+        match parse(prefix) {
+            Ok(_) => {}
+            Err(e) => {
+                rejected += 1;
+                if let Some(pos) = e.pos {
+                    let lines = prefix.lines().count() as u32;
+                    assert!(
+                        pos.line >= 1 && pos.line <= lines.max(1) + 1,
+                        "position {pos:?} outside truncated input ({lines} lines)"
+                    );
+                }
+            }
+        }
+    }
+    assert!(parse(full).is_ok());
+    assert!(
+        rejected > 0,
+        "no truncation was rejected — parser accepts mid-tag cuts?"
+    );
+}
+
+/// Interleaved (non-nested) style tags are a structural error, not a panic:
+/// `<A> <B> </A> </B>` must be rejected with a position.
+#[test]
+fn interleaved_tags_rejected() {
+    let cases = [
+        "<TITLE>t</TITLE> <TEXT> <B> x </TEXT> </B>",
+        "<TITLE>t</TITLE> <TEXT> <B> <I> x </B> </I> </TEXT>",
+        "<TITLE>t</TITLE> <TEXT> </B> x <B> </TEXT>",
+        "<TITLE>t</TITLE> <TEXT> <B> x </TEXT>",
+    ];
+    for src in cases {
+        let e = parse(src).expect_err(src);
+        assert!(e.pos.is_some(), "no position for {src:?}: {e}");
+    }
+}
+
+/// Oversized attribute *names* and absurdly long unquoted values must be
+/// handled without panicking: unknown huge names are positioned errors,
+/// huge values for known attributes survive the round trip.
+#[test]
+fn oversized_attribute_names_and_values_handled() {
+    let huge_name = "A".repeat(50_000);
+    let src = format!("<TITLE>t</TITLE> <IMG> {huge_name}=x ID=1 </IMG>");
+    let e = scenario_from_markup(&src, DocumentId::new(1), ServerId::new(0)).unwrap_err();
+    assert!(!format!("{e}").is_empty());
+
+    // A huge *quoted* value parses and is preserved verbatim.
+    let huge_note = "n".repeat(200_000);
+    let src = format!("<TITLE>t</TITLE> <IMG> SOURCE=i.jpg ID=1 NOTE=\"{huge_note}\" </IMG>");
+    assert!(scenario_from_markup(&src, DocumentId::new(1), ServerId::new(0)).is_ok());
+
+    // Truncating inside the huge quoted value is an unterminated-value
+    // error, not a panic.
+    let cut = &src[..src.len() - 10];
+    assert!(parse(cut).is_err());
+}
+
 #[test]
 fn enormous_attribute_values_handled() {
     let big = "x".repeat(100_000);

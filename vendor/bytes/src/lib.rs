@@ -1,0 +1,260 @@
+//! Hermetic replacement for the subset of the `bytes` crate used by the RTP
+//! layer: an immutable, cheaply-cloneable `Bytes` with a consuming read
+//! cursor (`Buf`), and a growable `BytesMut` with big-endian writers
+//! (`BufMut`) that freezes into `Bytes`.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Immutable shared byte buffer with a read offset.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Bytes {
+        Bytes {
+            data: Arc::new(Vec::new()),
+            start: 0,
+        }
+    }
+
+    /// Borrow a static slice (copied — the stub keeps one representation).
+    pub fn from_static(s: &'static [u8]) -> Bytes {
+        Bytes {
+            data: Arc::new(s.to_vec()),
+            start: 0,
+        }
+    }
+
+    /// Remaining length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// True when no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy the remaining bytes out.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(self.len() >= n, "Bytes: advance past end");
+        let s = &self.data[self.start..self.start + n];
+        self.start += n;
+        s
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Bytes {
+        Bytes::from(s.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"{} bytes\"", self.len())
+    }
+}
+
+/// Growable byte buffer for encoding.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+
+    /// Convert into an immutable `Bytes`.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+/// Consuming big-endian readers (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Read a big-endian u16.
+    fn get_u16(&mut self) -> u16;
+    /// Read a big-endian u32.
+    fn get_u32(&mut self) -> u32;
+    /// Read a big-endian u64.
+    fn get_u64(&mut self) -> u64;
+}
+
+impl Buf for Bytes {
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take(2).try_into().unwrap())
+    }
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take(4).try_into().unwrap())
+    }
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take(8).try_into().unwrap())
+    }
+}
+
+/// Appending big-endian writers (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Write one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Write a big-endian u16.
+    fn put_u16(&mut self, v: u16);
+    /// Write a big-endian u32.
+    fn put_u32(&mut self, v: u32);
+    /// Write a big-endian u64.
+    fn put_u64(&mut self, v: u64);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_readers_writers() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(7);
+        b.put_u16(0x0102);
+        b.put_u32(0x0304_0506);
+        b.put_u64(0x0708_090A_0B0C_0D0E);
+        b.extend_from_slice(&[1, 2, 3]);
+        let mut r = b.freeze();
+        assert_eq!(r.len(), 18);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16(), 0x0102);
+        assert_eq!(r.get_u32(), 0x0304_0506);
+        assert_eq!(r.get_u64(), 0x0708_090A_0B0C_0D0E);
+        assert_eq!(r.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn indexing_and_mutation() {
+        let mut b = BytesMut::new();
+        b.put_u32(0);
+        b[2..4].copy_from_slice(&0xBEEFu16.to_be_bytes());
+        let f = b.freeze();
+        assert_eq!(f[2], 0xBE);
+        assert_eq!(f[3], 0xEF);
+    }
+
+    #[test]
+    fn clone_shares_and_cursor_is_per_handle() {
+        let mut a = Bytes::from(vec![1, 2, 3, 4]);
+        let b = a.clone();
+        a.get_u8();
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 4);
+        assert_ne!(a, b);
+    }
+}

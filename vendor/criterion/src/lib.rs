@@ -1,0 +1,165 @@
+//! Hermetic stub of the `criterion` benchmark harness. It runs each bench
+//! body a few times, prints a rough per-iteration time, and never fails —
+//! enough to keep `cargo bench` compiling and executing offline without the
+//! real statistics engine.
+
+use std::time::{Duration, Instant};
+
+/// Declared throughput of a benchmark (printed, not analyzed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing for `iter_batched` (ignored by the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Opaque identity function preventing the optimizer from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            throughput: None,
+        }
+    }
+
+    /// Register a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, None, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the sample count (ignored by the stub).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the measurement time (ignored by the stub).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Register one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.throughput, &mut f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(id: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iterations: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = if b.iterations > 0 {
+        b.elapsed / b.iterations
+    } else {
+        Duration::ZERO
+    };
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            println!("  {id}: {per_iter:?}/iter ({n} B/iter)");
+        }
+        Some(Throughput::Elements(n)) => {
+            println!("  {id}: {per_iter:?}/iter ({n} elem/iter)");
+        }
+        None => println!("  {id}: {per_iter:?}/iter"),
+    }
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    iterations: u32,
+    elapsed: Duration,
+}
+
+/// Iteration budget: few enough that heavyweight session benches stay fast,
+/// enough that cheap ones get a stable-ish number.
+const ITERS: u32 = 3;
+
+impl Bencher {
+    /// Time a closure.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..ITERS {
+            let t = Instant::now();
+            black_box(f());
+            self.elapsed += t.elapsed();
+            self.iterations += 1;
+        }
+    }
+
+    /// Time a closure with an untimed per-iteration setup.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..ITERS {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.elapsed += t.elapsed();
+            self.iterations += 1;
+        }
+    }
+}
+
+/// Expand to a function running each bench target with a fresh `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Expand to a `main` running the listed groups (CLI args are ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

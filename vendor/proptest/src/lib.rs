@@ -1,0 +1,709 @@
+//! Hermetic property-testing shim with the `proptest` API surface this
+//! workspace uses: the `proptest!` macro, `Strategy` with `prop_map`/`boxed`,
+//! integer-range / tuple / `Just` / union strategies, `collection::vec`,
+//! `option::of`, `any::<T>()`, and a regex-subset string generator.
+//!
+//! Differences from real proptest, by design:
+//! - **Deterministic seeds**: case `i` of test `t` always runs the same input
+//!   (seeded from a hash of the test name and `i`), so failures reproduce
+//!   without a persistence file.
+//! - **No shrinking**: the failing input is printed as-is; tests that matter
+//!   pin their regressions as explicit fixed cases.
+//! - `.proptest-regressions` files are not read (their `cc` hashes encode the
+//!   upstream RNG); keep shrunk cases alive as ordinary `#[test]`s instead.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A failed property check (returned by `prop_assert!` and friends).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail<S: Into<String>>(msg: S) -> TestCaseError {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Per-test configuration (only the case count is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic generator state handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // 128-bit multiply-shift keeps bias negligible for test sizes.
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+    }
+
+    /// Uniform value in the signed 128-bit range `[lo, hi)` (for any int type).
+    pub fn in_range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo < hi, "empty range");
+        let width = (hi - lo) as u128;
+        let draw = ((self.next_u64() as u128) << 64 | self.next_u64() as u128) % width;
+        lo + draw as i128
+    }
+}
+
+/// Seed the RNG for one case of one named test: stable across runs and
+/// platforms so failures always reproduce.
+pub fn test_rng(test_name: &str, case: u32) -> TestRng {
+    // FNV-1a over the name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng {
+        state: h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through a function.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+/// Object-safe strategy core for boxing.
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn DynStrategy<T>>,
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.generate_dyn(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produce a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.in_range_i128(self.start as i128, self.end as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.in_range_i128(*self.start() as i128, *self.end() as i128 + 1) as $t
+            }
+        }
+    )*};
+}
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Union of boxed strategies: each case picks one arm uniformly.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Debug> Union<T> {
+    /// Build from the arms (at least one required).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Whole-domain generation for primitive types (`any::<T>()`).
+pub trait Arbitrary: Debug + Sized {
+    /// Draw one value uniformly over the type's domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for [`Arbitrary`] types.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the whole-domain strategy for a primitive type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for vectors with a size drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A vector whose length is uniform in `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.in_range_i128(self.size.start as i128, self.size.end as i128) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! Option strategies (`proptest::option::of`).
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<T>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategy: string literals act as strategies, supporting
+// the pattern subset used in-tree — literal runs, escapes (\n, \t, \\),
+// character classes with ranges, and {m,n} quantifiers.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum AtomKind {
+    Lit(char),
+    /// Inclusive char ranges; single chars are (c, c).
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    kind: AtomKind,
+    min: usize,
+    max: usize,
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let mut chars = pat.chars().peekable();
+    let mut atoms: Vec<Atom> = Vec::new();
+    while let Some(c) = chars.next() {
+        match c {
+            '[' => {
+                // Decode the class body (escapes first), then fold ranges.
+                let mut decoded: Vec<char> = Vec::new();
+                loop {
+                    match chars.next() {
+                        Some(']') => break,
+                        Some('\\') => {
+                            let e = chars.next().expect("dangling escape in class");
+                            decoded.push(unescape(e));
+                        }
+                        Some(ch) => decoded.push(ch),
+                        None => panic!("unterminated character class in pattern {pat:?}"),
+                    }
+                }
+                let mut ranges: Vec<(char, char)> = Vec::new();
+                let mut i = 0;
+                while i < decoded.len() {
+                    if i + 2 < decoded.len() && decoded[i + 1] == '-' {
+                        assert!(
+                            decoded[i] <= decoded[i + 2],
+                            "inverted range in pattern {pat:?}"
+                        );
+                        ranges.push((decoded[i], decoded[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((decoded[i], decoded[i]));
+                        i += 1;
+                    }
+                }
+                atoms.push(Atom {
+                    kind: AtomKind::Class(ranges),
+                    min: 1,
+                    max: 1,
+                });
+            }
+            '{' => {
+                let mut spec = String::new();
+                for ch in chars.by_ref() {
+                    if ch == '}' {
+                        break;
+                    }
+                    spec.push(ch);
+                }
+                let (min, max) = match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad {m,n} quantifier"),
+                        n.trim().parse().expect("bad {m,n} quantifier"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad {n} quantifier");
+                        (n, n)
+                    }
+                };
+                let atom = atoms.last_mut().expect("quantifier with nothing to repeat");
+                atom.min = min;
+                atom.max = max;
+            }
+            '\\' => {
+                let e = chars.next().expect("dangling escape");
+                atoms.push(Atom {
+                    kind: AtomKind::Lit(unescape(e)),
+                    min: 1,
+                    max: 1,
+                });
+            }
+            other => atoms.push(Atom {
+                kind: AtomKind::Lit(other),
+                min: 1,
+                max: 1,
+            }),
+        }
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = if atom.max > atom.min {
+                rng.in_range_i128(atom.min as i128, atom.max as i128 + 1) as usize
+            } else {
+                atom.min
+            };
+            for _ in 0..n {
+                match &atom.kind {
+                    AtomKind::Lit(c) => out.push(*c),
+                    AtomKind::Class(ranges) => {
+                        let total: u64 = ranges
+                            .iter()
+                            .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                            .sum();
+                        let mut pick = rng.below(total);
+                        for (lo, hi) in ranges {
+                            let span = (*hi as u64) - (*lo as u64) + 1;
+                            if pick < span {
+                                out.push(char::from_u32(*lo as u32 + pick as u32).unwrap());
+                                break;
+                            }
+                            pick -= span;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Drive one property: run `cases` deterministic inputs through `f`,
+/// panicking (with the case's seed context) on the first failure.
+pub fn run_prop_test<F>(cfg: ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng, u32) -> Result<(), TestCaseError>,
+{
+    for case in 0..cfg.cases {
+        let mut rng = test_rng(name, case);
+        if let Err(e) = f(&mut rng, case) {
+            panic!("property {name} failed at case {case}: {e}");
+        }
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Union strategy over heterogeneous arms with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Fail the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current property case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} == {:?}",
+                __l, __r
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} == {:?}: {}",
+                __l,
+                __r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Fail the current property case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        if __l == __r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                __l, __r
+            )));
+        }
+    }};
+}
+
+/// Define property tests: each `fn` runs `cases` deterministic inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_prop_test(__cfg, stringify!($name), |__rng, __case| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                    let __args = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let __out = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })
+                    );
+                    match __out {
+                        Ok(Ok(())) => Ok(()),
+                        Ok(Err(e)) => Err($crate::TestCaseError::fail(format!(
+                            "{e}\n  inputs: {__args}"
+                        ))),
+                        Err(panic) => {
+                            let msg = panic
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| panic.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "<non-string panic>".to_string());
+                            Err($crate::TestCaseError::fail(format!(
+                                "panic: {msg}\n  inputs: {__args} (case {__case})"
+                            )))
+                        }
+                    }
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let mut a = test_rng("x", 3);
+        let mut b = test_rng("x", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = test_rng("x", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = test_rng("regex", 0);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9]{0,8}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 9);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+
+            let t = "[ -~\\n\\t]{0,40}".generate(&mut rng);
+            assert!(t.len() <= 40);
+            assert!(t
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+
+            let u = "<A>[A-Z]{1,3}=[a-z]{1,2}</A>".generate(&mut rng);
+            assert!(u.starts_with("<A>") && u.ends_with("</A>") && u.contains('='));
+        }
+    }
+
+    #[test]
+    fn ranges_tuples_unions_and_vec() {
+        let mut rng = test_rng("mix", 0);
+        for _ in 0..200 {
+            let v = (1i64..12).generate(&mut rng);
+            assert!((1..12).contains(&v));
+            let w = (1u8..=3).generate(&mut rng);
+            assert!((1..=3).contains(&w));
+            let (a, b) = ((0u8..10), Just(7i32)).generate(&mut rng);
+            assert!(a < 10);
+            assert_eq!(b, 7);
+            let u = prop_oneof![Just(1u8), Just(2u8), (5u8..8)].generate(&mut rng);
+            assert!(u == 1 || u == 2 || (5..8).contains(&u));
+            let xs = collection::vec(0u8..4, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&xs.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_end_to_end(x in 0u64..100, s in "[a-b]{1,4}", o in crate::option::of(1u8..3)) {
+            prop_assert!(x < 100);
+            prop_assert!(!s.is_empty(), "s empty: {s:?}");
+            if let Some(v) = o {
+                prop_assert!(v == 1 || v == 2, "only 1 or 2, got {}", v);
+                prop_assert_ne!(v, 0);
+                prop_assert_eq!(v / v, 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_panics_with_inputs() {
+        run_prop_test(ProptestConfig::with_cases(4), "fp", |rng, _case| {
+            let v = (0u8..10).generate(rng);
+            prop_assert!(v > 100, "v was {v}");
+            Ok(())
+        });
+    }
+}

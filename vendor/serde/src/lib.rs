@@ -1,0 +1,12 @@
+//! Hermetic stub of the `serde` facade. The workspace only ever *derives*
+//! `Serialize`/`Deserialize` (no runtime serialization flows through serde),
+//! so the stub provides the two trait names and re-exports no-op derive
+//! macros under the same names, exactly as the real facade does.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
