@@ -19,6 +19,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_ablate",
     "exp_concur",
     "exp_faults",
+    "exp_placement",
 ];
 
 fn main() {

@@ -71,6 +71,7 @@ fn main() {
         StackPath::MediaRtpUdp => ("continuous media (audio/video)", "RTP/UDP/IP"),
         StackPath::FeedbackRtcpUdp => ("receiver reports (feedback)", "RTCP/UDP/IP"),
         StackPath::MailSmtp => ("asynchronous interaction (mail)", "SMTP/MIME"),
+        StackPath::MediaFetchTcp => ("media-tier segment fetch", "TCP/IP"),
     };
     for (path, (pkts, bytes)) in &world.stack_bytes {
         let (what, transport) = label(path);

@@ -93,6 +93,12 @@ impl FrameSource {
         self.next_pts
     }
 
+    /// Global sequence number of the next frame (segment addressing: the
+    /// media tier fetches the segment holding this index).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
     /// Produce the next frame, or `None` when the stream is exhausted.
     pub fn next_frame(&mut self) -> Option<MediaFrame> {
         let pts = self.next_pts;

@@ -14,9 +14,11 @@
 pub mod codec;
 pub mod convert;
 pub mod frames;
+pub mod segment;
 pub mod store;
 
 pub use codec::{CodecModel, LevelParams};
 pub use convert::QualityConverter;
 pub use frames::{FrameSource, MediaFrame};
+pub use segment::{frames_at_level, segment_bytes, segment_frames, segment_of_frame, SegmentFrame};
 pub use store::{MediaObject, MediaStore};

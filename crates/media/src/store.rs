@@ -74,6 +74,16 @@ impl MediaStore {
     pub fn get(&self, key: &str) -> Option<&MediaObject> {
         self.objects.get(key)
     }
+    /// Open a frame source for a stored object without cloning its
+    /// metadata — the per-stream handle the delivery path should use.
+    pub fn open(
+        &self,
+        key: &str,
+        component: ComponentId,
+        duration: MediaDuration,
+    ) -> Option<FrameSource> {
+        self.objects.get(key).map(|o| o.open(component, duration))
+    }
     /// Number of stored objects.
     pub fn len(&self) -> usize {
         self.objects.len()

@@ -11,6 +11,7 @@ use hermes_hml::scenario_from_markup;
 use hermes_media::MediaStore;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A topic entry in the service's contents list.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -39,7 +40,10 @@ pub struct StoredDocument {
 pub struct MultimediaDb {
     /// This server's id (relative SOURCE keys resolve against it).
     pub server: ServerId,
-    documents: BTreeMap<DocumentId, StoredDocument>,
+    /// Documents are shared out as `Arc` handles: the delivery path holds a
+    /// document across admission + media activation without deep-copying the
+    /// markup and scenario per request.
+    documents: BTreeMap<DocumentId, Arc<StoredDocument>>,
     topics: Vec<TopicEntry>,
     /// Media stores keyed by kind — "for every media object (e.g., text,
     /// image, audio, video, etc) a media server is associated" (§6.1).
@@ -84,12 +88,12 @@ impl MultimediaDb {
             description: description.into(),
         });
         self.documents
-            .insert(id, StoredDocument { markup, scenario });
-        Ok(self.documents.get(&id).unwrap())
+            .insert(id, Arc::new(StoredDocument { markup, scenario }));
+        Ok(&**self.documents.get(&id).unwrap())
     }
 
-    /// Retrieve a document.
-    pub fn document(&self, id: DocumentId) -> ServiceResult<&StoredDocument> {
+    /// Retrieve a document as a cheap shared handle.
+    pub fn document(&self, id: DocumentId) -> ServiceResult<&Arc<StoredDocument>> {
         self.documents
             .get(&id)
             .ok_or(ServiceError::DocumentNotFound(id))

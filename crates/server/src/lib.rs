@@ -10,7 +10,12 @@
 //! * [`qos`] — the Server QoS Manager and grading engine (long-term
 //!   recovery: video-first degradation, patient upgrades, stop-at-floor);
 //! * [`admission`] — connection admission control with pricing classes;
-//! * [`accounts`] — subscription, authentication and pricing primitives.
+//! * [`accounts`] — subscription, authentication and pricing primitives;
+//! * [`placement`] — content placement over the distributed media-server
+//!   tier (rendezvous-hashed replication) and load/RTT-aware replica
+//!   selection;
+//! * [`segcache`] — the byte-bounded LRU segment cache with
+//!   interval-caching admission fronting the media tier.
 
 #![warn(missing_docs)]
 
@@ -18,7 +23,9 @@ pub mod accounts;
 pub mod admission;
 pub mod database;
 pub mod flow;
+pub mod placement;
 pub mod qos;
+pub mod segcache;
 
 pub use accounts::{AccountsDb, Charge, SubscriptionForm, UserRecord};
 pub use admission::{
@@ -26,4 +33,6 @@ pub use admission::{
 };
 pub use database::{MultimediaDb, StoredDocument, TopicEntry};
 pub use flow::{compute_flow_scenario, FlowConfig, FlowPlan, FlowScenario};
+pub use placement::{PlacementMap, ReplicaSelector};
 pub use qos::{GradingAction, ManagedStream, ServerQosManager};
+pub use segcache::{SegmentCache, SegmentCacheStats, SegmentKey};

@@ -1,0 +1,281 @@
+//! The segment cache fronting the distributed media tier.
+//!
+//! A byte-bounded LRU over fetched media segments with *interval-caching*
+//! admission: a segment is admitted only while at least two streams are
+//! concurrently reading its object, so what stays resident is the interval
+//! between consecutive viewers of the same content — the working set that
+//! actually produces hits — while one-off fetches pass straight through
+//! without evicting anything useful (Dan & Sitaram's interval caching, as
+//! used throughout the large-scale VoD literature).
+
+use hermes_core::GradeLevel;
+use hermes_media::SegmentFrame;
+use std::collections::BTreeMap;
+
+/// Identity of one cached segment.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SegmentKey {
+    /// The media object's storage key.
+    pub object: String,
+    /// Quality level the frames were computed at.
+    pub level: GradeLevel,
+    /// Segment index within the object.
+    pub segment: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    frames: Vec<SegmentFrame>,
+    bytes: u64,
+    stamp: u64,
+}
+
+/// Cache statistics (the experiment tables' raw data).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SegmentCacheStats {
+    /// Lookups satisfied from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Segments admitted.
+    pub admitted: u64,
+    /// Inserts refused by the interval-caching admission policy.
+    pub rejected: u64,
+    /// Segments evicted to make room.
+    pub evicted: u64,
+}
+
+impl SegmentCacheStats {
+    /// Hit rate in [0, 1]; zero when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Byte-bounded LRU segment cache with interval-caching admission.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentCache {
+    capacity_bytes: u64,
+    used_bytes: u64,
+    entries: BTreeMap<SegmentKey, Entry>,
+    /// Recency index: stamp → key. Stamps are unique (monotone clock), so
+    /// the first entry is always the least recently used.
+    recency: BTreeMap<u64, SegmentKey>,
+    clock: u64,
+    /// Active readers per object key — maintained by the stream lifecycle
+    /// (register on stream start, deregister on teardown). Admission
+    /// requires ≥ 2: a segment is only worth keeping while another viewer
+    /// is behind (or beside) the one that fetched it.
+    readers: BTreeMap<String, u32>,
+    /// Statistics.
+    pub stats: SegmentCacheStats,
+}
+
+impl SegmentCache {
+    /// A cache bounded to `capacity_bytes` of frame payload.
+    pub fn new(capacity_bytes: u64) -> Self {
+        SegmentCache {
+            capacity_bytes,
+            ..SegmentCache::default()
+        }
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+    /// Bytes currently resident.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+    /// Number of resident segments.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// A stream over `object` started.
+    pub fn reader_started(&mut self, object: &str) {
+        *self.readers.entry(object.to_string()).or_insert(0) += 1;
+    }
+
+    /// A stream over `object` ended.
+    pub fn reader_finished(&mut self, object: &str) {
+        if let Some(n) = self.readers.get_mut(object) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                self.readers.remove(object);
+            }
+        }
+    }
+
+    /// Concurrent readers of `object`.
+    pub fn readers(&self, object: &str) -> u32 {
+        *self.readers.get(object).unwrap_or(&0)
+    }
+
+    /// Would an insert for `object` currently be admitted?
+    pub fn admits(&self, object: &str) -> bool {
+        self.capacity_bytes > 0 && self.readers(object) >= 2
+    }
+
+    /// Look up a segment, refreshing its recency on a hit. Counts a hit or
+    /// miss in [`SegmentCacheStats`].
+    pub fn get(&mut self, key: &SegmentKey) -> Option<&[SegmentFrame]> {
+        if let Some(entry) = self.entries.get_mut(key) {
+            self.recency.remove(&entry.stamp);
+            self.clock += 1;
+            entry.stamp = self.clock;
+            self.recency.insert(entry.stamp, key.clone());
+            self.stats.hits += 1;
+            Some(&self.entries[key].frames)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Peek without touching recency or statistics (tests/inspection).
+    pub fn contains(&self, key: &SegmentKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Offer a fetched segment. Admission applies the interval-caching
+    /// policy ([`SegmentCache::admits`]); an admitted segment evicts from
+    /// the LRU end until it fits. Segments larger than the whole cache are
+    /// rejected. Returns whether the segment is now resident.
+    pub fn insert(&mut self, key: SegmentKey, frames: Vec<SegmentFrame>) -> bool {
+        let bytes = hermes_media::segment_bytes(&frames);
+        if !self.admits(&key.object) || bytes > self.capacity_bytes || frames.is_empty() {
+            self.stats.rejected += 1;
+            return false;
+        }
+        if let Some(old) = self.entries.remove(&key) {
+            // Replacing an existing entry: drop its bytes and recency slot.
+            self.recency.remove(&old.stamp);
+            self.used_bytes -= old.bytes;
+        }
+        while self.used_bytes + bytes > self.capacity_bytes {
+            let (&stamp, _) = self.recency.iter().next().expect("bytes without entries");
+            let victim = self.recency.remove(&stamp).unwrap();
+            let evicted = self.entries.remove(&victim).unwrap();
+            self.used_bytes -= evicted.bytes;
+            self.stats.evicted += 1;
+        }
+        self.clock += 1;
+        self.entries.insert(
+            key.clone(),
+            Entry {
+                frames,
+                bytes,
+                stamp: self.clock,
+            },
+        );
+        self.recency.insert(self.clock, key);
+        self.used_bytes += bytes;
+        self.stats.admitted += 1;
+        true
+    }
+
+    /// Resident segment keys, least recently used first (tests/inspection).
+    pub fn lru_order(&self) -> Vec<SegmentKey> {
+        self.recency.values().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(object: &str, segment: u64) -> SegmentKey {
+        SegmentKey {
+            object: object.to_string(),
+            level: GradeLevel::NOMINAL,
+            segment,
+        }
+    }
+
+    fn frames(n: usize, size: u32) -> Vec<SegmentFrame> {
+        vec![SegmentFrame { size, key: true }; n]
+    }
+
+    /// A cache with `obj` shared by two readers (admission open).
+    fn shared(capacity: u64, obj: &str) -> SegmentCache {
+        let mut c = SegmentCache::new(capacity);
+        c.reader_started(obj);
+        c.reader_started(obj);
+        c
+    }
+
+    #[test]
+    fn single_reader_segments_are_not_admitted() {
+        let mut c = SegmentCache::new(1 << 20);
+        c.reader_started("v");
+        assert!(!c.insert(key("v", 0), frames(4, 100)));
+        assert!(c.is_empty());
+        assert_eq!(c.stats.rejected, 1);
+        // A second concurrent viewer opens admission.
+        c.reader_started("v");
+        assert!(c.insert(key("v", 1), frames(4, 100)));
+        assert_eq!(c.len(), 1);
+        // Last viewer leaving closes it again.
+        c.reader_finished("v");
+        c.reader_finished("v");
+        assert!(!c.insert(key("v", 2), frames(4, 100)));
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded_and_lru_evicts_first() {
+        let mut c = shared(1_000, "v");
+        assert!(c.insert(key("v", 0), frames(1, 400)));
+        assert!(c.insert(key("v", 1), frames(1, 400)));
+        assert_eq!(c.used_bytes(), 800);
+        // Touch segment 0 so segment 1 is now the LRU victim.
+        assert!(c.get(&key("v", 0)).is_some());
+        assert!(c.insert(key("v", 2), frames(1, 400)));
+        assert!(c.used_bytes() <= 1_000);
+        assert!(c.contains(&key("v", 0)), "recently used evicted");
+        assert!(!c.contains(&key("v", 1)), "LRU survived");
+        assert!(c.contains(&key("v", 2)));
+        assert_eq!(c.stats.evicted, 1);
+    }
+
+    #[test]
+    fn oversized_segment_rejected_zero_capacity_inert() {
+        let mut c = shared(100, "v");
+        assert!(!c.insert(key("v", 0), frames(1, 400)));
+        assert!(c.is_empty());
+        let mut z = shared(0, "v");
+        assert!(!z.admits("v"));
+        assert!(!z.insert(key("v", 0), frames(1, 1)));
+    }
+
+    #[test]
+    fn get_counts_hits_and_misses() {
+        let mut c = shared(1_000, "v");
+        assert!(c.get(&key("v", 0)).is_none());
+        c.insert(key("v", 0), frames(2, 100));
+        assert_eq!(c.get(&key("v", 0)).map(|f| f.len()), Some(2));
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.misses, 1);
+        assert!((c.stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_counting_bytes() {
+        let mut c = shared(1_000, "v");
+        c.insert(key("v", 0), frames(1, 300));
+        c.insert(key("v", 0), frames(1, 500));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_bytes(), 500);
+        assert_eq!(c.lru_order(), vec![key("v", 0)]);
+    }
+}

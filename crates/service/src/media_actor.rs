@@ -1,0 +1,163 @@
+//! The media-server node actor of the distributed media tier.
+//!
+//! The paper attaches per-kind media servers to the multimedia server
+//! (§2, §6.1); here they become real simnet nodes. A media node holds
+//! replicated content *shards* — the media objects the placement map
+//! assigned to it, keyed by origin multimedia server and media kind — and
+//! serves stateless [`ServiceMsg::MediaFetchRequest`]s: every segment is
+//! recomputed on demand from the object's metadata, so a crashed node
+//! loses nothing and a failed-over stream can resume from any replica.
+
+use crate::protocol::ServiceMsg;
+use hermes_core::{GradeLevel, MediaKind, NodeId, ServerId};
+use hermes_media::{segment_bytes, segment_frames, MediaObject, MediaStore};
+use hermes_simnet::SimApi;
+use std::collections::BTreeMap;
+
+/// Serving statistics of one media node (the per-node load the placement
+/// experiment reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MediaNodeStats {
+    /// Fetch requests served with a chunk.
+    pub requests_served: u64,
+    /// Frames shipped in chunks.
+    pub frames_served: u64,
+    /// Frame payload bytes shipped in chunks.
+    pub bytes_served: u64,
+    /// Fetches for objects this node does not hold.
+    pub not_found: u64,
+}
+
+/// A media-server node: replicated content shards plus serving stats.
+pub struct MediaActor {
+    /// The node this media server runs on.
+    pub node: NodeId,
+    /// Replica shards by (origin multimedia server, media kind). Keys from
+    /// different origin servers may collide, so shards are kept separate.
+    pub shards: BTreeMap<(ServerId, MediaKind), MediaStore>,
+    /// Serving statistics.
+    pub stats: MediaNodeStats,
+}
+
+impl MediaActor {
+    /// An empty media node.
+    pub fn new(node: NodeId) -> Self {
+        MediaActor {
+            node,
+            shards: BTreeMap::new(),
+            stats: MediaNodeStats::default(),
+        }
+    }
+
+    /// Install a replica of `object` for origin server `server` (content
+    /// distribution at deployment time).
+    pub fn install(&mut self, server: ServerId, object: MediaObject) {
+        self.shards
+            .entry((server, object.kind()))
+            .or_default()
+            .insert(object);
+    }
+
+    /// Total objects replicated onto this node.
+    pub fn objects(&self) -> usize {
+        self.shards.values().map(MediaStore::len).sum()
+    }
+
+    /// Handle an incoming message addressed to this media node.
+    pub fn on_message(&mut self, api: &mut SimApi<'_, ServiceMsg>, from: NodeId, msg: ServiceMsg) {
+        let ServiceMsg::MediaFetchRequest {
+            fetch,
+            server,
+            kind,
+            object,
+            level,
+            segment,
+            frames_per_segment,
+        } = msg
+        else {
+            return; // media nodes speak only the fetch protocol
+        };
+        let stored = self
+            .shards
+            .get(&(server, kind))
+            .and_then(|s| s.get(&object));
+        let Some(stored) = stored else {
+            self.stats.not_found += 1;
+            api.send_reliable(
+                self.node,
+                from,
+                ServiceMsg::MediaFetchError {
+                    fetch,
+                    reason: format!("object '{object}' not replicated here"),
+                },
+            );
+            return;
+        };
+        let frames = segment_frames(stored, GradeLevel(level), segment, frames_per_segment);
+        let total = segment_bytes(&frames);
+        self.stats.requests_served += 1;
+        self.stats.frames_served += frames.len() as u64;
+        self.stats.bytes_served += total;
+        // Stream the segment as bounded transport parts — TCP does not
+        // deliver megabytes atomically, and a single oversized message
+        // could never clear a finite link queue. Only the final part
+        // carries the frame specs; earlier parts model payload on the wire.
+        const PART_BYTES: u64 = 64 * 1024;
+        let mut frames = Some(frames);
+        let mut remaining = total;
+        loop {
+            let part = remaining.min(PART_BYTES);
+            remaining -= part;
+            let last = remaining == 0;
+            api.send_reliable(
+                self.node,
+                from,
+                ServiceMsg::MediaFetchChunk {
+                    fetch,
+                    payload_bytes: part as u32,
+                    last,
+                    frames: if last {
+                        frames.take().unwrap()
+                    } else {
+                        Vec::new()
+                    },
+                },
+            );
+            if last {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_core::{Encoding, MediaDuration};
+
+    #[test]
+    fn install_and_count() {
+        let mut m = MediaActor::new(NodeId::new(7));
+        m.install(
+            ServerId::new(0),
+            MediaObject {
+                key: "v.mpg".into(),
+                encoding: Encoding::Mpeg,
+                duration: MediaDuration::from_secs(8),
+                seed: 1,
+            },
+        );
+        m.install(
+            ServerId::new(1),
+            MediaObject {
+                key: "v.mpg".into(),
+                encoding: Encoding::Mpeg,
+                duration: MediaDuration::from_secs(4),
+                seed: 2,
+            },
+        );
+        // Same key, different origin servers: two distinct replicas.
+        assert_eq!(m.objects(), 2);
+        assert_eq!(m.shards.len(), 2);
+    }
+}

@@ -8,8 +8,10 @@
 //! serialization delay faithfully.
 
 use hermes_core::{
-    ComponentId, DocumentId, MediaTime, PricingClass, QosMeasurement, ServerId, SessionId, UserId,
+    ComponentId, DocumentId, MediaKind, MediaTime, PricingClass, QosMeasurement, ServerId,
+    SessionId, UserId,
 };
+use hermes_media::SegmentFrame;
 use hermes_rtp::{RtcpPacket, RtpPacket};
 use hermes_server::{SubscriptionForm, TopicEntry};
 use hermes_simnet::WireSize;
@@ -28,6 +30,9 @@ pub enum StackPath {
     FeedbackRtcpUdp,
     /// Asynchronous mail over SMTP/MIME.
     MailSmtp,
+    /// Server-to-server media-tier fetch traffic (segment pulls from the
+    /// distributed media nodes), over the reliable path.
+    MediaFetchTcp,
 }
 
 /// A search hit returned by the distributed search.
@@ -292,6 +297,58 @@ pub enum ServiceMsg {
         packet: RtcpPacket,
     },
 
+    // ---- media tier (server ↔ media-server node, TCP path) ----
+    /// Multimedia server → media node: pull one segment of a media object.
+    /// The protocol is stateless — a segment is fully identified by
+    /// `(server, object, level, segment, frames_per_segment)` — so any
+    /// replica can serve any request and failover is a re-request.
+    MediaFetchRequest {
+        /// Puller-unique fetch id for response matching.
+        fetch: u64,
+        /// The multimedia server whose content shard is addressed.
+        server: ServerId,
+        /// The media kind of the object (selects the shard's store).
+        kind: MediaKind,
+        /// The object's storage key.
+        object: String,
+        /// Quality level to compute frame sizes at.
+        level: u8,
+        /// Segment index within the object.
+        segment: u64,
+        /// Frames per segment the puller addresses with.
+        frames_per_segment: u32,
+    },
+    /// Media node → multimedia server: the requested segment's frame
+    /// content. The wire size charges the frame payload — this is the hop
+    /// where media bytes genuinely cross the network between servers.
+    ///
+    /// A large segment is streamed as several bounded *transport parts*
+    /// (TCP does not deliver megabytes atomically): every part charges its
+    /// `payload_bytes` on the wire, and only the part with `last == true`
+    /// carries the frame specs — the logical chunk the puller consumes.
+    /// In-order reliable delivery guarantees the last part arrives after
+    /// all payload crossed.
+    MediaFetchChunk {
+        /// The fetch id being answered.
+        fetch: u64,
+        /// Frame payload bytes carried by this transport part.
+        payload_bytes: u32,
+        /// Final part of the segment?
+        last: bool,
+        /// Frame specs (sizes + key flags) of the whole segment; empty on
+        /// non-final parts. Always `frames_per_segment` long on the final
+        /// part — serving is unbounded past the object's duration; the
+        /// puller's pacer bounds the stream.
+        frames: Vec<SegmentFrame>,
+    },
+    /// Media node → multimedia server: the fetch could not be served.
+    MediaFetchError {
+        /// The fetch id being answered.
+        fetch: u64,
+        /// Why.
+        reason: String,
+    },
+
     // ---- feedback (RTCP path) ----
     /// Client → server: periodic feedback report (RTCP receiver reports
     /// plus the QoS manager's per-stream measurements).
@@ -396,6 +453,9 @@ impl ServiceMsg {
             ServiceMsg::MailSend { .. }
             | ServiceMsg::MailFetch { .. }
             | ServiceMsg::MailBox { .. } => StackPath::MailSmtp,
+            ServiceMsg::MediaFetchRequest { .. }
+            | ServiceMsg::MediaFetchChunk { .. }
+            | ServiceMsg::MediaFetchError { .. } => StackPath::MediaFetchTcp,
             _ => StackPath::ControlTcp,
         }
     }
@@ -444,6 +504,17 @@ impl WireSize for ServiceMsg {
             ServiceMsg::StreamRegraded { .. } => 25 + TCP_IP_OVERHEAD,
             ServiceMsg::RtpData { packet, .. } => packet.wire_size(),
             ServiceMsg::DiscreteData { size, .. } => 24 + *size as usize + TCP_IP_OVERHEAD,
+            ServiceMsg::MediaFetchRequest { object, .. } => 48 + object.len() + TCP_IP_OVERHEAD,
+            ServiceMsg::MediaFetchChunk {
+                payload_bytes,
+                frames,
+                ..
+            } => {
+                // The part's share of the frame payload plus a 5-byte spec
+                // header per carried frame spec (final part only).
+                16 + *payload_bytes as usize + 5 * frames.len() + TCP_IP_OVERHEAD
+            }
+            ServiceMsg::MediaFetchError { reason, .. } => 16 + reason.len() + TCP_IP_OVERHEAD,
             ServiceMsg::RtcpSenderReport { packet, .. } => packet.wire_size(),
             ServiceMsg::Feedback {
                 measurements, rtcp, ..

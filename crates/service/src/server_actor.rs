@@ -10,21 +10,24 @@ use hermes_core::{
     MediaDuration, MediaKind, MediaTime, NodeId, PresentationFloor, PricingClass, ServerId,
     SessionId, UserId,
 };
-use hermes_media::{CodecModel, FrameSource};
+use hermes_media::{segment_of_frame, CodecModel, FrameSource, SegmentFrame};
 use hermes_rtp::RtpSender;
 use hermes_server::{
     compute_flow_scenario, AccountsDb, AdmissionController, AdmissionDecision, Charge,
-    ConnectionRequest, FlowConfig, FlowPlan, MultimediaDb, PathCondition, ServerQosManager,
+    ConnectionRequest, FlowConfig, FlowPlan, MultimediaDb, PathCondition, PlacementMap,
+    ReplicaSelector, SegmentCache, SegmentKey, ServerQosManager,
 };
 use hermes_simnet::SimApi;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// One active outgoing media stream of a session.
 #[derive(Debug)]
 pub struct StreamTx {
     /// The transmission plan.
     pub plan: FlowPlan,
-    /// The frame generator (owned by the media server).
+    /// The frame generator. With a media tier it becomes the stream's
+    /// *pacer*: it owns seq/pts/level/doneness while the frame content is
+    /// gated on segments fetched from the tier (see [`RemoteStream`]).
     pub source: FrameSource,
     /// The RTP sender session.
     pub sender: RtpSender,
@@ -36,6 +39,176 @@ pub struct StreamTx {
     pub frames_sent: u64,
     /// Payload bytes sent so far.
     pub bytes_sent: u64,
+    /// Media-tier fetch state; `None` streams read their local store
+    /// directly (the pre-tier in-process path).
+    pub remote: Option<RemoteStream>,
+}
+
+/// Media-tier fetch state of one stream: which replica it pulls from and
+/// the windowed-pipelining bookkeeping between the pacer and the network.
+#[derive(Debug)]
+pub struct RemoteStream {
+    /// The media object's storage key.
+    pub object: String,
+    /// Its media kind (selects the shard store on media nodes).
+    pub kind: MediaKind,
+    /// The media node currently serving this stream.
+    pub replica: NodeId,
+    /// Segment granularity of this stream's fetches: the tier's configured
+    /// value for continuous media, 1 for discrete objects (one oversized
+    /// "frame" — fetching a whole segment would pull redundant copies).
+    pub frames_per_segment: u32,
+    /// Bumped on failover and level retargets; chunks tagged with an older
+    /// epoch are stale and dropped.
+    pub epoch: u32,
+    /// Next segment index to request.
+    pub next_request: u64,
+    /// Next segment index to append into `ready`.
+    pub next_append: u64,
+    /// Fetched segments waiting for in-order append (segment → frames).
+    pub pending: BTreeMap<u64, Vec<SegmentFrame>>,
+    /// In-order frame specs ready for the pacer to consume.
+    pub ready: VecDeque<SegmentFrame>,
+    /// Frames to drop from the next appended segment (mid-segment starts
+    /// after fast-forward or a level retarget).
+    pub skip: u32,
+    /// Outstanding segment fetches (segment → fetch id).
+    pub inflight: BTreeMap<u64, u64>,
+}
+
+impl RemoteStream {
+    /// Point the fetch window at global frame index `next_seq`, discarding
+    /// all buffered and in-flight content (used at stream start and when a
+    /// level switch invalidates fetched frame sizes).
+    pub fn retarget(&mut self, next_seq: u64) {
+        let (seg, off) = segment_of_frame(next_seq, self.frames_per_segment);
+        self.pending.clear();
+        self.ready.clear();
+        self.inflight.clear();
+        self.next_request = seg;
+        self.next_append = seg;
+        self.skip = off;
+        self.epoch += 1;
+    }
+
+    /// Drain contiguously fetched segments into the ready queue.
+    fn drain_ready(&mut self) {
+        while let Some(frames) = self.pending.remove(&self.next_append) {
+            self.next_append += 1;
+            for f in frames {
+                if self.skip > 0 {
+                    self.skip -= 1;
+                } else {
+                    self.ready.push_back(f);
+                }
+            }
+        }
+    }
+
+    /// Frames buffered or expected from outstanding fetches.
+    fn frames_covered(&self) -> u64 {
+        self.ready.len() as u64
+            + self.pending.values().map(|v| v.len() as u64).sum::<u64>()
+            + self.inflight.len() as u64 * self.frames_per_segment as u64
+    }
+}
+
+/// Configuration of the distributed media tier, shared by the world builder
+/// (content distribution) and the multimedia servers (fetch behaviour).
+#[derive(Debug, Clone)]
+pub struct MediaTierConfig {
+    /// Replicas per media object across the media nodes.
+    pub replication: usize,
+    /// Segment-cache capacity in payload bytes (0 disables caching).
+    pub cache_bytes: u64,
+    /// Frames per fetched segment.
+    pub frames_per_segment: u32,
+    /// Maximum outstanding segment fetches per stream (the pipelining
+    /// window).
+    pub pipeline: u32,
+    /// Re-poll interval while a stream is stalled waiting for the tier.
+    pub stall_poll: MediaDuration,
+}
+
+impl Default for MediaTierConfig {
+    fn default() -> Self {
+        MediaTierConfig {
+            replication: 2,
+            cache_bytes: 512 * 1024,
+            frames_per_segment: 32,
+            pipeline: 3,
+            stall_poll: MediaDuration::from_millis(10),
+        }
+    }
+}
+
+/// Counters of the media-tier fetch path on one multimedia server.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MediaTierStats {
+    /// Segment fetches sent to media nodes.
+    pub fetches: u64,
+    /// Chunks received back.
+    pub chunks: u64,
+    /// Paced frames that found the ready queue empty (tier too slow).
+    pub stalls: u64,
+    /// Streams re-pointed at another replica after a media-node fault.
+    pub failovers: u64,
+    /// Fetches answered with [`ServiceMsg::MediaFetchError`].
+    pub fetch_errors: u64,
+}
+
+/// Identifies an outstanding fetch (for chunk routing and failover).
+#[derive(Debug, Clone, Copy)]
+pub struct FetchTag {
+    /// The session the fetch belongs to.
+    pub session: SessionId,
+    /// The stream within the session.
+    pub component: ComponentId,
+    /// The segment requested.
+    pub segment: u64,
+    /// The quality level it was computed at.
+    pub level: GradeLevel,
+    /// The issuing stream's epoch (stale-chunk rejection).
+    pub epoch: u32,
+    /// The media node it was sent to.
+    pub replica: NodeId,
+}
+
+/// The multimedia server's side of the distributed media tier: where its
+/// content lives ([`PlacementMap`]), which replica each fetch should use
+/// ([`ReplicaSelector`]), the segment cache fronting the network, and the
+/// outstanding-fetch table.
+#[derive(Debug)]
+pub struct MediaTier {
+    /// Tier configuration.
+    pub cfg: MediaTierConfig,
+    /// Object key → media-node replicas.
+    pub placement: PlacementMap,
+    /// Load/RTT-aware replica choice.
+    pub selector: ReplicaSelector,
+    /// The segment cache (interval-caching admission).
+    pub cache: SegmentCache,
+    /// Outstanding fetches by fetch id.
+    pub inflight: BTreeMap<u64, FetchTag>,
+    next_fetch: u64,
+    /// Fetch-path counters.
+    pub stats: MediaTierStats,
+}
+
+impl MediaTier {
+    /// A tier client for `placement` under `cfg`.
+    pub fn new(cfg: MediaTierConfig, placement: PlacementMap) -> Self {
+        let cache = SegmentCache::new(cfg.cache_bytes);
+        MediaTier {
+            cfg,
+            placement,
+            selector: ReplicaSelector::new(),
+            cache,
+            inflight: BTreeMap::new(),
+            next_fetch: 1,
+            stats: MediaTierStats::default(),
+        }
+    }
 }
 
 /// One client session's server-side state.
@@ -147,6 +320,11 @@ pub struct ServerActor {
     /// Sessions rebuilt from a client [`ServiceMsg::ReconnectRequest`]
     /// after this server lost its state: (old session, new session).
     pub rebuilt_sessions: Vec<(SessionId, SessionId)>,
+    /// The distributed media tier, when deployed ([`ServiceWorld::distribute_media`]
+    /// wires it); `None` keeps the pre-tier fully local delivery path.
+    ///
+    /// [`ServiceWorld::distribute_media`]: crate::world::ServiceWorld::distribute_media
+    pub media: Option<MediaTier>,
 }
 
 impl ServerActor {
@@ -168,6 +346,7 @@ impl ServerActor {
             pending_replications: Vec::new(),
             seen_reqs: BTreeMap::new(),
             rebuilt_sessions: Vec::new(),
+            media: None,
         }
     }
 
@@ -186,6 +365,15 @@ impl ServerActor {
         self.sessions.clear();
         self.seen_reqs.clear();
         self.queries.clear();
+        // The segment cache and fetch table are RAM: gone with the process.
+        // Cumulative statistics survive for post-run reporting only.
+        if let Some(tier) = self.media.as_mut() {
+            let stats = tier.cache.stats;
+            tier.cache = SegmentCache::new(tier.cfg.cache_bytes);
+            tier.cache.stats = stats;
+            tier.inflight.clear();
+            tier.selector = ReplicaSelector::new();
+        }
     }
 
     fn start_heartbeat(&mut self, api: &mut SimApi<'_, ServiceMsg>, session: SessionId) {
@@ -231,6 +419,13 @@ impl ServerActor {
                 measurements,
                 ..
             } => self.on_feedback(api, session, &measurements),
+            ServiceMsg::MediaFetchChunk {
+                fetch,
+                last,
+                frames,
+                ..
+            } => self.on_media_chunk(api, fetch, frames, last),
+            ServiceMsg::MediaFetchError { fetch, .. } => self.on_media_error(api, fetch),
             ServiceMsg::Pause { session } => {
                 if let Some(s) = self.sessions.get_mut(&session) {
                     s.paused = true;
@@ -625,8 +820,10 @@ impl ServerActor {
         let client = s.client;
         let class = s.class;
         let user = s.user;
+        // Arc handle: the document is shared out of the database, not
+        // deep-copied (markup + scenario) per request.
         let doc = match self.db.document(document) {
-            Ok(d) => d,
+            Ok(d) => d.clone(),
             Err(e) => {
                 api.send_reliable(
                     self.node,
@@ -639,9 +836,7 @@ impl ServerActor {
                 return;
             }
         };
-        let markup = doc.markup.clone();
-        let scenario = doc.scenario.clone();
-        let flow = compute_flow_scenario(&scenario, self.cfg.flow);
+        let flow = compute_flow_scenario(&doc.scenario, self.cfg.flow);
 
         // Admission: evaluate the aggregate continuous bandwidth against the
         // path to this client, weighted by the pricing contract. Under
@@ -664,7 +859,9 @@ impl ServerActor {
             self.accounts.charge(u, Charge::Retrieval(document));
         }
 
-        // Tear down any previous document's streams.
+        // Tear down any previous document's streams (their cache readers
+        // first, so interval-caching admission sees them leave).
+        self.release_session_readers(session);
         let s = self.sessions.get_mut(&session).unwrap();
         s.streams.clear();
         s.qos = ServerQosManager::new(self.cfg.grading_order, self.cfg.hysteresis);
@@ -680,7 +877,7 @@ impl ServerActor {
                 ServiceMsg::ScenarioResponse {
                     session,
                     document,
-                    markup,
+                    markup: doc.markup.clone(),
                     lead_micros: flow.lead.as_micros(),
                 },
             );
@@ -716,8 +913,14 @@ impl ServerActor {
                 if start_level > GradeLevel::NOMINAL {
                     s.qos.force_level(plan.component, start_level);
                 }
-                let object = self.db.store(plan.kind).get(&plan.source.object).cloned();
-                let Some(object) = object else {
+                // Open the frame source through the store handle — the
+                // object's metadata stays in the database, un-cloned.
+                let source = self.db.store(plan.kind).open(
+                    &plan.source.object,
+                    plan.component,
+                    plan.duration,
+                );
+                let Some(mut source) = source else {
                     api.send_reliable(
                         self.node,
                         client,
@@ -728,7 +931,6 @@ impl ServerActor {
                     );
                     continue;
                 };
-                let mut source = object.open(plan.component, plan.duration);
                 if start_level > GradeLevel::NOMINAL {
                     source.set_level(start_level);
                 }
@@ -741,6 +943,7 @@ impl ServerActor {
                         let _ = source.next_frame();
                     }
                 }
+                let remote = self.make_remote(&plan.source.object, plan.kind, source.next_seq());
                 let ssrc = ((session.raw() as u32) << 16) ^ plan.component.raw() as u32;
                 let s = self.sessions.get_mut(&session).unwrap();
                 s.streams.insert(
@@ -753,8 +956,10 @@ impl ServerActor {
                         stopped: false,
                         frames_sent: 0,
                         bytes_sent: 0,
+                        remote,
                     },
                 );
+                self.attach_remote(api, session, plan.component);
                 api.set_timer(
                     self.node,
                     delay,
@@ -767,22 +972,21 @@ impl ServerActor {
                     continue;
                 }
                 // Discrete media: a single object over the reliable path at
-                // its send start.
-                let size = self
-                    .db
-                    .store(plan.kind)
-                    .get(&plan.source.object)
-                    .map(|o| {
-                        o.open(plan.component, plan.duration)
-                            .next_frame()
-                            .map(|f| f.size)
-                            .unwrap_or(0)
-                    })
-                    .unwrap_or_else(|| {
+                // its send start. With a media tier the size comes from the
+                // fetched segment; locally it derives from the store.
+                let size = match self.db.store(plan.kind).open(
+                    &plan.source.object,
+                    plan.component,
+                    plan.duration,
+                ) {
+                    Some(mut src) => src.next_frame().map(|f| f.size).unwrap_or(0),
+                    None => {
                         CodecModel::for_encoding(plan.encoding)
                             .level(GradeLevel::NOMINAL)
                             .mean_frame_bytes
-                    });
+                    }
+                };
+                let remote = self.make_remote(&plan.source.object, plan.kind, 0);
                 let component = plan.component;
                 api.set_timer(
                     self.node,
@@ -807,9 +1011,356 @@ impl ServerActor {
                         stopped: false,
                         frames_sent: 0,
                         bytes_sent: 0,
+                        remote,
+                    },
+                );
+                self.attach_remote(api, session, component);
+            }
+        }
+    }
+
+    /// Media-tier fetch state for a stream over `object`, starting at
+    /// global frame index `next_seq`; `None` without a tier (or for content
+    /// the placement map never distributed) — the stream then reads its
+    /// local store as before.
+    fn make_remote(&self, object: &str, kind: MediaKind, next_seq: u64) -> Option<RemoteStream> {
+        let tier = self.media.as_ref()?;
+        if tier.placement.replicas(object).is_empty() {
+            return None;
+        }
+        let fps = if kind.is_continuous() {
+            tier.cfg.frames_per_segment.max(1)
+        } else {
+            1 // a discrete "frame" is the whole object; don't fetch copies
+        };
+        let (seg, off) = segment_of_frame(next_seq, fps);
+        Some(RemoteStream {
+            object: object.to_string(),
+            kind,
+            replica: self.node, // placeholder until attach_remote selects
+            frames_per_segment: fps,
+            epoch: 0,
+            next_request: seg,
+            next_append: seg,
+            pending: BTreeMap::new(),
+            ready: VecDeque::new(),
+            skip: off,
+            inflight: BTreeMap::new(),
+        })
+    }
+
+    /// Register a freshly inserted remote stream with the tier: count its
+    /// cache reader (interval-caching admission) and pick its replica.
+    fn attach_remote(
+        &mut self,
+        api: &mut SimApi<'_, ServiceMsg>,
+        session: SessionId,
+        component: ComponentId,
+    ) {
+        let object = match self
+            .sessions
+            .get(&session)
+            .and_then(|s| s.streams.get(&component))
+            .and_then(|tx| tx.remote.as_ref())
+        {
+            Some(r) => r.object.clone(),
+            None => return,
+        };
+        if let Some(tier) = self.media.as_mut() {
+            tier.cache.reader_started(&object);
+        }
+        self.reselect_replica(api, session, component);
+    }
+
+    /// Point a remote stream at the best live replica of its object (score:
+    /// outstanding load + path RTT). Returns false when no replica is up.
+    fn reselect_replica(
+        &mut self,
+        api: &SimApi<'_, ServiceMsg>,
+        session: SessionId,
+        component: ComponentId,
+    ) -> bool {
+        let node = self.node;
+        let Some(tier) = self.media.as_ref() else {
+            return false;
+        };
+        let Some(r) = self
+            .sessions
+            .get(&session)
+            .and_then(|s| s.streams.get(&component))
+            .and_then(|tx| tx.remote.as_ref())
+        else {
+            return false;
+        };
+        let net = api.net();
+        let candidates: Vec<(NodeId, i64)> = tier
+            .placement
+            .replicas(&r.object)
+            .iter()
+            .filter(|&&n| api.node_is_up(n))
+            .map(|&n| {
+                let prop: i64 = net
+                    .path_links(node, n)
+                    .unwrap_or_default()
+                    .iter()
+                    .filter_map(|(a, b)| net.link(*a, *b))
+                    .map(|l| l.spec.propagation.as_micros())
+                    .sum();
+                (n, prop * 2)
+            })
+            .collect();
+        let Some(choice) = tier.selector.pick(&candidates) else {
+            return false;
+        };
+        if let Some(r) = self
+            .sessions
+            .get_mut(&session)
+            .and_then(|s| s.streams.get_mut(&component))
+            .and_then(|tx| tx.remote.as_mut())
+        {
+            r.replica = choice;
+        }
+        true
+    }
+
+    /// Deregister a session's remote streams from the cache's reader counts
+    /// (called before the streams are dropped or replaced).
+    fn release_session_readers(&mut self, session: SessionId) {
+        let objects: Vec<String> = self
+            .sessions
+            .get(&session)
+            .map(|s| {
+                s.streams
+                    .values()
+                    .filter_map(|tx| tx.remote.as_ref().map(|r| r.object.clone()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        if let Some(tier) = self.media.as_mut() {
+            for o in &objects {
+                tier.cache.reader_finished(o);
+            }
+        }
+    }
+
+    /// Top up a remote stream's fetch window: serve segments from the cache
+    /// when resident, otherwise issue pipelined fetches to the stream's
+    /// replica until the window covers the pacer's remaining need.
+    fn pump_remote(
+        &mut self,
+        api: &mut SimApi<'_, ServiceMsg>,
+        session: SessionId,
+        component: ComponentId,
+    ) {
+        let node = self.node;
+        let server_id = self.server_id;
+        let Some(tier) = self.media.as_mut() else {
+            return;
+        };
+        let Some(s) = self.sessions.get_mut(&session) else {
+            return;
+        };
+        let Some(tx) = s.streams.get_mut(&component) else {
+            return;
+        };
+        if tx.done || tx.stopped {
+            return;
+        }
+        // A discrete object needs exactly its one oversized frame; demanding
+        // the pacer's full remaining count would fetch redundant copies.
+        let needed = if tx.plan.kind.is_continuous() {
+            tx.source.frames_remaining() + 1
+        } else {
+            1
+        };
+        let level = tx.source.level();
+        let Some(r) = tx.remote.as_mut() else {
+            return;
+        };
+        let fps = r.frames_per_segment;
+        while (r.inflight.len() as u32) < tier.cfg.pipeline && r.frames_covered() < needed {
+            let seg = r.next_request;
+            let key = SegmentKey {
+                object: r.object.clone(),
+                level,
+                segment: seg,
+            };
+            if let Some(frames) = tier.cache.get(&key) {
+                let frames = frames.to_vec();
+                r.pending.insert(seg, frames);
+                r.next_request = seg + 1;
+                r.drain_ready();
+                continue;
+            }
+            if !api.node_is_up(r.replica) {
+                // Parked: every replica of the object is down. The stall
+                // poll keeps the stream alive until a fault event re-points
+                // it at a live (or restarted) replica.
+                break;
+            }
+            let fetch = tier.next_fetch;
+            tier.next_fetch += 1;
+            tier.selector.fetch_started(r.replica);
+            tier.inflight.insert(
+                fetch,
+                FetchTag {
+                    session,
+                    component,
+                    segment: seg,
+                    level,
+                    epoch: r.epoch,
+                    replica: r.replica,
+                },
+            );
+            r.inflight.insert(seg, fetch);
+            r.next_request = seg + 1;
+            tier.stats.fetches += 1;
+            api.send_reliable(
+                node,
+                r.replica,
+                ServiceMsg::MediaFetchRequest {
+                    fetch,
+                    server: server_id,
+                    kind: r.kind,
+                    object: r.object.clone(),
+                    level: level.0,
+                    segment: seg,
+                    frames_per_segment: fps,
+                },
+            );
+        }
+    }
+
+    /// A segment arrived from a media node. Segments travel as bounded
+    /// transport parts; only the final part (`last`) carries the frame
+    /// specs, and reliable in-order delivery guarantees it arrives after
+    /// every payload part — so earlier parts need no bookkeeping here.
+    fn on_media_chunk(
+        &mut self,
+        api: &mut SimApi<'_, ServiceMsg>,
+        fetch: u64,
+        frames: Vec<SegmentFrame>,
+        last: bool,
+    ) {
+        if !last {
+            return;
+        }
+        let Some(tier) = self.media.as_mut() else {
+            return;
+        };
+        let Some(tag) = tier.inflight.remove(&fetch) else {
+            return; // superseded by failover or session teardown
+        };
+        tier.selector.fetch_finished(tag.replica);
+        tier.stats.chunks += 1;
+        let Some(r) = self
+            .sessions
+            .get_mut(&tag.session)
+            .and_then(|s| s.streams.get_mut(&tag.component))
+            .and_then(|tx| tx.remote.as_mut())
+        else {
+            return;
+        };
+        // Offer the segment to the cache even when the stream has moved on
+        // (stale epoch): the content itself is valid and shareable.
+        tier.cache.insert(
+            SegmentKey {
+                object: r.object.clone(),
+                level: tag.level,
+                segment: tag.segment,
+            },
+            frames.clone(),
+        );
+        if tag.epoch != r.epoch {
+            return;
+        }
+        r.inflight.remove(&tag.segment);
+        r.pending.insert(tag.segment, frames);
+        r.drain_ready();
+        // Discrete objects ship the moment their bytes arrive; continuous
+        // streams stay on the pacer's cadence (the stall poll picks the
+        // fetched frames up).
+        let discrete = self
+            .sessions
+            .get(&tag.session)
+            .and_then(|s| s.streams.get(&tag.component))
+            .map(|tx| !tx.plan.kind.is_continuous())
+            .unwrap_or(false);
+        if discrete {
+            self.send_discrete(api, tag.session, tag.component);
+        }
+    }
+
+    /// A media node refused a fetch (object not replicated there): stop the
+    /// stream — retrying cannot succeed, the placement map is wrong.
+    fn on_media_error(&mut self, api: &mut SimApi<'_, ServiceMsg>, fetch: u64) {
+        let Some(tier) = self.media.as_mut() else {
+            return;
+        };
+        let Some(tag) = tier.inflight.remove(&fetch) else {
+            return;
+        };
+        tier.selector.fetch_finished(tag.replica);
+        tier.stats.fetch_errors += 1;
+        let Some(s) = self.sessions.get_mut(&tag.session) else {
+            return;
+        };
+        let client = s.client;
+        if let Some(tx) = s.streams.get_mut(&tag.component) {
+            let live_epoch = tx.remote.as_ref().map(|r| r.epoch);
+            if live_epoch == Some(tag.epoch) && !tx.done && !tx.stopped {
+                tx.stopped = true;
+                api.send_reliable(
+                    self.node,
+                    client,
+                    ServiceMsg::StreamStopped {
+                        session: tag.session,
+                        component: tag.component,
                     },
                 );
             }
+        }
+    }
+
+    /// A media node crashed or restarted. Fetches outstanding to it will
+    /// never complete; every stream pulling from it drops its in-flight
+    /// window and re-points at the best live replica — the stateless fetch
+    /// protocol makes failover exactly a re-request from `next_append`,
+    /// i.e. from the first frame the client has not yet been sent.
+    pub fn on_media_node_event(&mut self, api: &mut SimApi<'_, ServiceMsg>, media_node: NodeId) {
+        let Some(tier) = self.media.as_mut() else {
+            return;
+        };
+        tier.selector.clear_outstanding(media_node);
+        tier.inflight.retain(|_, tag| tag.replica != media_node);
+        let mut affected: Vec<(SessionId, ComponentId)> = Vec::new();
+        for (sid, s) in self.sessions.iter_mut() {
+            for (cid, tx) in s.streams.iter_mut() {
+                if tx.done || tx.stopped {
+                    continue;
+                }
+                let Some(r) = tx.remote.as_mut() else {
+                    continue;
+                };
+                if r.replica != media_node {
+                    continue;
+                }
+                // Keep `ready` (already fetched, in order); drop the rest.
+                r.pending.clear();
+                r.inflight.clear();
+                r.next_request = r.next_append;
+                r.epoch += 1;
+                affected.push((*sid, *cid));
+            }
+        }
+        for (sid, cid) in affected {
+            if self.reselect_replica(api, sid, cid) {
+                if let Some(tier) = self.media.as_mut() {
+                    tier.stats.failovers += 1;
+                }
+                self.pump_remote(api, sid, cid);
+            }
+            // No live replica: parked until a restart event re-points us.
         }
     }
 
@@ -831,32 +1382,77 @@ impl ServerActor {
         session: SessionId,
         component: ComponentId,
     ) {
+        {
+            let Some(s) = self.sessions.get_mut(&session) else {
+                return;
+            };
+            if s.paused || s.suspended {
+                // Retry after a pause-poll interval.
+                api.set_timer(
+                    self.node,
+                    MediaDuration::from_millis(200),
+                    timers::TK_DISCRETE,
+                    timers::pack(session, component),
+                );
+                return;
+            }
+            let Some(tx) = s.streams.get(&component) else {
+                return;
+            };
+            if tx.done || tx.stopped {
+                return;
+            }
+        }
+        // With a media tier, the object's bytes must first arrive from a
+        // replica (or the cache); until then, poll.
+        let mut fetched_total = None;
+        let is_remote = self
+            .sessions
+            .get(&session)
+            .and_then(|s| s.streams.get(&component))
+            .map(|tx| tx.remote.is_some())
+            .unwrap_or(false);
+        if is_remote {
+            self.pump_remote(api, session, component);
+            let Some(r) = self
+                .sessions
+                .get(&session)
+                .and_then(|s| s.streams.get(&component))
+                .and_then(|tx| tx.remote.as_ref())
+            else {
+                return;
+            };
+            match r.ready.front() {
+                Some(spec) => fetched_total = Some(spec.size),
+                None => {
+                    let tier = self.media.as_mut().expect("remote stream without tier");
+                    tier.stats.stalls += 1;
+                    api.set_timer(
+                        self.node,
+                        tier.cfg.stall_poll,
+                        timers::TK_DISCRETE,
+                        timers::pack(session, component),
+                    );
+                    return;
+                }
+            }
+        }
         let Some(s) = self.sessions.get_mut(&session) else {
             return;
         };
-        if s.paused || s.suspended {
-            // Retry after a pause-poll interval.
-            api.set_timer(
-                self.node,
-                MediaDuration::from_millis(200),
-                timers::TK_DISCRETE,
-                timers::pack(session, component),
-            );
-            return;
-        }
         let client = s.client;
         let Some(tx) = s.streams.get_mut(&component) else {
             return;
         };
-        if tx.done || tx.stopped {
-            return;
-        }
-        let total = tx
-            .source
-            .clone()
-            .next_frame()
-            .map(|f| f.size)
-            .unwrap_or(10_000);
+        let total = match fetched_total {
+            Some(size) => size,
+            None => tx
+                .source
+                .clone()
+                .next_frame()
+                .map(|f| f.size)
+                .unwrap_or(10_000),
+        };
         tx.done = true;
         tx.frames_sent = 1;
         tx.bytes_sent = total as u64;
@@ -895,31 +1491,79 @@ impl ServerActor {
         session: SessionId,
         component: ComponentId,
     ) {
+        {
+            let Some(s) = self.sessions.get_mut(&session) else {
+                return;
+            };
+            if s.suspended {
+                return; // resumes re-arm the chain
+            }
+            if s.paused {
+                // Poll until resumed (resume also re-arms immediately).
+                api.set_timer(
+                    self.node,
+                    MediaDuration::from_millis(100),
+                    timers::TK_FRAME,
+                    timers::pack(session, component),
+                );
+                return;
+            }
+            let Some(tx) = s.streams.get_mut(&component) else {
+                return;
+            };
+            if tx.done || tx.stopped {
+                return;
+            }
+        }
+        // Media tier: top up the fetch window, then gate this frame on
+        // fetched content — the pacer only advances once the frame's bytes
+        // have actually come off the wire from a replica (or the cache).
+        let mut fetched = None;
+        let is_remote = self
+            .sessions
+            .get(&session)
+            .and_then(|s| s.streams.get(&component))
+            .map(|tx| tx.remote.is_some())
+            .unwrap_or(false);
+        if is_remote {
+            self.pump_remote(api, session, component);
+            let Some(r) = self
+                .sessions
+                .get_mut(&session)
+                .and_then(|s| s.streams.get_mut(&component))
+                .and_then(|tx| tx.remote.as_mut())
+            else {
+                return;
+            };
+            match r.ready.pop_front() {
+                Some(spec) => fetched = Some(spec),
+                None => {
+                    let tier = self.media.as_mut().expect("remote stream without tier");
+                    tier.stats.stalls += 1;
+                    api.set_timer(
+                        self.node,
+                        tier.cfg.stall_poll,
+                        timers::TK_FRAME,
+                        timers::pack(session, component),
+                    );
+                    return;
+                }
+            }
+        }
         let Some(s) = self.sessions.get_mut(&session) else {
             return;
         };
-        if s.suspended {
-            return; // resumes re-arm the chain
-        }
-        if s.paused {
-            // Poll until resumed (resume also re-arms immediately).
-            api.set_timer(
-                self.node,
-                MediaDuration::from_millis(100),
-                timers::TK_FRAME,
-                timers::pack(session, component),
-            );
-            return;
-        }
         let client = s.client;
         let Some(tx) = s.streams.get_mut(&component) else {
             return;
         };
-        if tx.done || tx.stopped {
-            return;
-        }
         match tx.source.next_frame() {
             Some(frame) => {
+                if let Some(spec) = fetched {
+                    // The fetched spec and the pacer derive from the same
+                    // deterministic codec model — they must agree exactly.
+                    debug_assert_eq!((spec.size, spec.key), (frame.size, frame.key));
+                }
                 tx.frames_sent += 1;
                 tx.bytes_sent += frame.size as u64;
                 let now = api.now();
@@ -979,6 +1623,14 @@ impl ServerActor {
                 match act.decision {
                     GradeDecision::Degrade | GradeDecision::Upgrade => {
                         tx.source.set_level(act.new_level);
+                        // A level switch changes every frame size from here
+                        // on: buffered and in-flight segments were computed
+                        // at the old level and are now wrong. Re-point the
+                        // fetch window at the pacer's position.
+                        let seq = tx.source.next_seq();
+                        if let Some(r) = tx.remote.as_mut() {
+                            r.retarget(seq);
+                        }
                         if tx.stopped && !act.stopped {
                             // Restarted after a stop: re-arm the chain.
                             tx.stopped = false;
@@ -1041,6 +1693,7 @@ impl ServerActor {
     }
 
     fn teardown_session(&mut self, api: &mut SimApi<'_, ServiceMsg>, session: SessionId) {
+        self.release_session_readers(session);
         if let Some(conn) = self.admission.release(session) {
             api.net_mut().release(conn);
         }

@@ -2,9 +2,12 @@
 //! `App` glue dispatching messages and timers to them.
 
 use crate::client_actor::{ClientActor, ClientConfig};
+use crate::media_actor::MediaActor;
 use crate::protocol::{ServiceMsg, StackPath};
-use crate::server_actor::{ServerActor, ServerConfig};
-use hermes_core::{NodeId, ServerId};
+use crate::server_actor::{MediaTier, MediaTierConfig, ServerActor, ServerConfig};
+use hermes_core::{MediaKind, NodeId, ServerId};
+use hermes_media::MediaObject;
+use hermes_server::PlacementMap;
 use hermes_simnet::{App, FaultEvent, FaultKind, LinkSpec, Network, Sim, SimApi, SimRng, WireSize};
 use std::collections::BTreeMap;
 
@@ -14,6 +17,11 @@ pub struct ServiceWorld {
     pub servers: BTreeMap<NodeId, ServerActor>,
     /// Browsers by node.
     pub clients: BTreeMap<NodeId, ClientActor>,
+    /// Media-server nodes of the distributed media tier, by node.
+    pub media_nodes: BTreeMap<NodeId, MediaActor>,
+    /// Media-tier configuration ([`distribute_media`](Self::distribute_media)
+    /// applies it).
+    pub media_cfg: MediaTierConfig,
     /// Per-stack-path delivery accounting (packets, bytes) — the FIG5
     /// experiment's raw data.
     pub stack_bytes: BTreeMap<StackPath, (u64, u64)>,
@@ -39,6 +47,52 @@ impl ServiceWorld {
     /// Mutable client access.
     pub fn client_mut(&mut self, node: NodeId) -> &mut ClientActor {
         self.clients.get_mut(&node).unwrap()
+    }
+    /// The media actor on a node.
+    pub fn media(&self, node: NodeId) -> &MediaActor {
+        &self.media_nodes[&node]
+    }
+    /// Mutable media-node access.
+    pub fn media_mut(&mut self, node: NodeId) -> &mut MediaActor {
+        self.media_nodes.get_mut(&node).unwrap()
+    }
+
+    /// Distribute every server's media content over the media-tier nodes
+    /// and switch the servers to tier-backed delivery.
+    ///
+    /// For each multimedia server: place its object keys on the media nodes
+    /// by rendezvous hashing (`media_cfg.replication` replicas per object),
+    /// install the replicas into the nodes' shards, and hand the server a
+    /// [`MediaTier`] so its streams pull frames over the network instead of
+    /// reading the local store. Call *after* content installation (content
+    /// is ingested into the built sim) and before driving the run. A no-op
+    /// without media nodes.
+    pub fn distribute_media(&mut self) {
+        let nodes: Vec<NodeId> = self.media_nodes.keys().copied().collect();
+        if nodes.is_empty() {
+            return;
+        }
+        let cfg = self.media_cfg.clone();
+        for server in self.servers.values_mut() {
+            let mut objects: Vec<MediaObject> = Vec::new();
+            for kind in MediaKind::ALL {
+                objects.extend(server.db.store(kind).iter().cloned());
+            }
+            let placement = PlacementMap::build(
+                objects.iter().map(|o| o.key.as_str()),
+                &nodes,
+                cfg.replication,
+            );
+            for obj in objects {
+                for &n in placement.replicas(&obj.key) {
+                    self.media_nodes
+                        .get_mut(&n)
+                        .unwrap()
+                        .install(server.server_id, obj.clone());
+                }
+            }
+            server.media = Some(MediaTier::new(cfg.clone(), placement));
+        }
     }
 
     /// Replicate freshly processed subscription forms to every server's
@@ -73,6 +127,8 @@ impl App<ServiceMsg> for ServiceWorld {
             self.replicate_subscriptions();
         } else if let Some(client) = self.clients.get_mut(&node) {
             client.on_message(api, from, msg);
+        } else if let Some(media) = self.media_nodes.get_mut(&node) {
+            media.on_message(api, from, msg);
         }
     }
 
@@ -90,13 +146,31 @@ impl App<ServiceMsg> for ServiceWorld {
     }
 
     fn on_fault(&mut self, api: &mut SimApi<'_, ServiceMsg>, event: FaultEvent) {
-        // A crashing server loses its volatile session state; reservations
-        // and admission slots are returned to the network so the restarted
-        // process starts from a clean (but billing-preserving) slate.
-        if let FaultKind::NodeCrash { node } = event.kind {
-            if let Some(server) = self.servers.get_mut(&node) {
-                server.on_crash(api);
+        match event.kind {
+            // A crashing server loses its volatile session state;
+            // reservations and admission slots are returned to the network
+            // so the restarted process starts from a clean (but
+            // billing-preserving) slate.
+            FaultKind::NodeCrash { node } => {
+                if let Some(server) = self.servers.get_mut(&node) {
+                    server.on_crash(api);
+                } else if self.media_nodes.contains_key(&node) {
+                    // A media node died: every multimedia server fails its
+                    // streams over to surviving replicas. Content (shards)
+                    // models disk and survives for the restart.
+                    for server in self.servers.values_mut() {
+                        server.on_media_node_event(api, node);
+                    }
+                }
             }
+            // A restarted media node is a candidate replica again; streams
+            // parked with every replica down re-point at it and resume.
+            FaultKind::NodeRestart { node } if self.media_nodes.contains_key(&node) => {
+                for server in self.servers.values_mut() {
+                    server.on_media_node_event(api, node);
+                }
+            }
+            _ => {}
         }
     }
 }
@@ -113,6 +187,25 @@ pub struct WorldBuilder {
 }
 
 impl WorldBuilder {
+    /// Add a media-server node attached to the backbone by `link` (the
+    /// storage-area side of the media tier). Placement and shard install
+    /// happen later, in [`ServiceWorld::distribute_media`].
+    pub fn add_media_node(&mut self, link: LinkSpec) -> NodeId {
+        let node = self.alloc_node(&format!("media-{}", self.next_node));
+        self.net
+            .add_duplex(self.backbone, node, link, &mut self.rng);
+        self.world.media_nodes.insert(node, MediaActor::new(node));
+        node
+    }
+
+    /// Set the media-tier configuration the deployment will distribute
+    /// content under.
+    pub fn media_config(&mut self, cfg: MediaTierConfig) {
+        self.world.media_cfg = cfg;
+    }
+}
+
+impl WorldBuilder {
     /// Start a deployment: a backbone switch node everything hangs off.
     pub fn new(seed: u64) -> Self {
         let mut rng = SimRng::seed_from_u64(seed);
@@ -125,6 +218,8 @@ impl WorldBuilder {
             world: ServiceWorld {
                 servers: BTreeMap::new(),
                 clients: BTreeMap::new(),
+                media_nodes: BTreeMap::new(),
+                media_cfg: MediaTierConfig::default(),
                 stack_bytes: BTreeMap::new(),
                 catalog: Vec::new(),
             },

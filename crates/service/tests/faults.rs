@@ -187,6 +187,78 @@ fn fault_recovery_is_deterministic() {
     assert_eq!(run(), run());
 }
 
+/// Mid-playout media-node crash: the multimedia server fails the affected
+/// streams over to a surviving replica and the presentation completes with
+/// exactly the frame counts of a fault-free run — no duplicates, no holes.
+#[test]
+fn media_node_crash_mid_playout_fails_over_without_frame_loss() {
+    let run = |crash: bool| {
+        let mut b = WorldBuilder::new(23);
+        let srv = b.add_server(
+            ServerId::new(0),
+            LinkSpec::lan(10_000_000),
+            ServerConfig::default(),
+        );
+        let cli = b.add_client(LinkSpec::lan(10_000_000), ClientConfig::default());
+        for _ in 0..3 {
+            b.add_media_node(LinkSpec::san(100_000_000));
+        }
+        let mut sim = b.build(23);
+        let mut rng = SimRng::seed_from_u64(99);
+        install_figure2(sim.app_mut().server_mut(srv), DocumentId::new(1), &mut rng);
+        sim.app_mut().distribute_media();
+        sim.with_api(|w, api| {
+            w.client_mut(cli)
+                .connect(api, srv, Some(DocumentId::new(1)));
+        });
+        // Run into the middle of the continuous playout, then kill the
+        // media node actually serving a live stream.
+        sim.run_until(MediaTime::from_secs(4));
+        if crash {
+            let victim = sim
+                .app()
+                .server(srv)
+                .sessions
+                .values()
+                .flat_map(|s| s.streams.values())
+                .filter(|tx| !tx.done && !tx.stopped && tx.plan.kind.is_continuous())
+                .filter_map(|tx| tx.remote.as_ref().map(|r| r.replica))
+                .next()
+                .expect("no active tier-backed stream at 4 s");
+            sim.inject_fault(
+                MediaTime::from_secs(4),
+                FaultKind::NodeCrash { node: victim },
+            );
+        }
+        sim.run_until(MediaTime::from_secs(40));
+
+        let c = sim.app().client(cli);
+        assert!(c.errors.is_empty(), "errors: {:?}", c.errors);
+        assert_eq!(c.completed.len(), 1, "presentation did not complete");
+        let server = sim.app().server(srv);
+        let tier = server.media.as_ref().expect("media tier not deployed");
+        assert!(tier.stats.fetches > 0, "tier never fetched");
+        let sent: std::collections::BTreeMap<_, _> = server
+            .sessions
+            .values()
+            .flat_map(|s| s.streams.iter().map(|(comp, tx)| (*comp, tx.frames_sent)))
+            .collect();
+        (sent, tier.stats.failovers)
+    };
+    let (base_sent, base_failovers) = run(false);
+    assert_eq!(base_failovers, 0);
+    assert!(
+        base_sent.values().any(|&f| f > 100),
+        "continuous media never streamed: {base_sent:?}"
+    );
+    let (sent, failovers) = run(true);
+    assert!(failovers >= 1, "media-node crash triggered no failover");
+    assert_eq!(
+        sent, base_sent,
+        "failover duplicated or dropped frames vs the fault-free run"
+    );
+}
+
 /// Crashing the server after the presentation finished must not wedge the
 /// client: liveness detects the outage, reconnect re-establishes a session,
 /// and no errors surface.

@@ -40,6 +40,21 @@ impl LinkSpec {
         }
     }
 
+    /// A storage-area link for the media tier: short, fat and clean —
+    /// media nodes sit next to the multimedia servers, so propagation is
+    /// minimal, bandwidth is high and queues are deep (bulk segment
+    /// transfers, not interactive traffic).
+    pub fn san(bandwidth_bps: u64) -> Self {
+        LinkSpec {
+            bandwidth_bps,
+            propagation: MediaDuration::from_micros(50),
+            jitter: JitterModel::None,
+            loss: LossModel::None,
+            queue_capacity_bytes: 4 << 20,
+            congestion: CongestionProfile::idle(),
+        }
+    }
+
     /// A WAN-like link with mild jitter and loss.
     pub fn wan(bandwidth_bps: u64, propagation_ms: i64) -> Self {
         LinkSpec {

@@ -9,7 +9,8 @@ import os, subprocess, sys
 OUT = "/tmp/expout"
 EXPERIMENTS = ["exp_tab1","exp_fig1","exp_fig2","exp_fig3","exp_fig4","exp_fig5",
                "exp_skew","exp_window","exp_grade","exp_admit","exp_search",
-               "exp_migrate","exp_ablate","exp_concur","exp_faults"]
+               "exp_migrate","exp_ablate","exp_concur","exp_faults",
+               "exp_placement"]
 
 def run_all():
     os.makedirs(OUT, exist_ok=True)
@@ -316,6 +317,31 @@ tracked-request round trip on top. Every cell completes the presentation
 with zero errors: the rebuilt session fast-forwards each stream past the
 client's reported playout position, so recovery costs only the outage
 window, never a replay.
+
+---
+
+## EXP-PLACEMENT — the distributed media tier (`exp_placement`)
+
+**Paper gap:** the architecture (§2, §6.1) attaches dedicated media servers
+to the multimedia server but never evaluates how content should be placed
+across them, how a replica is chosen, or what happens when one dies.
+**Measured:** the Fig. 2 document distributed over four media nodes via
+rendezvous-hash placement and streamed to two staggered shared viewers,
+sweeping the replication factor and the segment-cache budget; the final
+cell crashes a live media node mid-playout.
+
+```""")
+    A(grab("exp_placement", start="== Fig. 2 over"))
+    A("""```
+
+**Finding.** Every cell completes both presentations with zero errors. The
+interval cache (Dan–Sitaram admission: only segments with concurrent
+readers are cached) lets the trailing viewer ride the leader's fetches —
+the 1 MB budget turns ~14% of lookups into hits and measurably cuts
+network fetch volume, while the no-cache cell pays full price for every
+segment. Crashing the serving replica triggers failover for each of its
+live streams (stateless segment addressing resumes from the exact next
+frame) and the presentations still complete with identical frame counts.
 
 ---
 

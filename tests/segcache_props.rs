@@ -1,0 +1,217 @@
+//! Property tests on the media-tier segment cache: byte capacity is a hard
+//! bound, eviction follows exact LRU order, and the interval-caching
+//! admission policy keeps shared-viewer segments resident while one-off
+//! fetches pass straight through.
+//!
+//! The cache is driven against a straightforward reference model (a recency
+//! vector plus a byte map) under arbitrary operation sequences; any
+//! divergence — in residency, order or accounting — fails the property.
+
+use hermes_od::core::GradeLevel;
+use hermes_od::media::SegmentFrame;
+use hermes_od::server::{SegmentCache, SegmentKey};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const CAPACITY: u64 = 2_000;
+
+fn object(o: u8) -> String {
+    format!("obj-{o}")
+}
+
+fn key(o: u8, segment: u64) -> SegmentKey {
+    SegmentKey {
+        object: object(o),
+        level: GradeLevel::NOMINAL,
+        segment,
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Offer a segment: (object, segment, frame size, frame count).
+    Insert(u8, u64, u32, u8),
+    /// Look a segment up: (object, segment).
+    Get(u8, u64),
+    /// A stream over the object started.
+    ReaderStart(u8),
+    /// A stream over the object ended.
+    ReaderEnd(u8),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        ((0u8..3), (0u64..8), (50u32..300), (1u8..4))
+            .prop_map(|(o, s, sz, n)| Op::Insert(o, s, sz, n)),
+        ((0u8..3), (0u64..8)).prop_map(|(o, s)| Op::Get(o, s)),
+        (0u8..3).prop_map(Op::ReaderStart),
+        (0u8..3).prop_map(Op::ReaderEnd),
+    ]
+}
+
+/// Drive one operation sequence through the cache next to a reference model,
+/// checking every invariant after each step.
+fn check_ops(ops: &[Op]) -> Result<(), String> {
+    macro_rules! ensure {
+        ($cond:expr, $($fmt:tt)+) => {
+            if !($cond) {
+                return Err(format!($($fmt)+));
+            }
+        };
+    }
+    let mut c = SegmentCache::new(CAPACITY);
+    // Reference model: recency order (LRU first), bytes per resident key,
+    // readers per object.
+    let mut order: Vec<SegmentKey> = Vec::new();
+    let mut bytes_of: BTreeMap<SegmentKey, u64> = BTreeMap::new();
+    let mut readers: BTreeMap<u8, u32> = BTreeMap::new();
+    for o in ops {
+        match *o {
+            Op::ReaderStart(obj) => {
+                c.reader_started(&object(obj));
+                *readers.entry(obj).or_insert(0) += 1;
+            }
+            Op::ReaderEnd(obj) => {
+                c.reader_finished(&object(obj));
+                let r = readers.entry(obj).or_insert(0);
+                *r = r.saturating_sub(1);
+            }
+            Op::Get(obj, seg) => {
+                let k = key(obj, seg);
+                let hit = c.get(&k).is_some();
+                let resident = order.contains(&k);
+                ensure!(
+                    hit == resident,
+                    "get({k:?}) hit={hit}, model says {resident}"
+                );
+                if hit {
+                    // A hit refreshes recency: the key moves to the MRU end.
+                    let pos = order.iter().position(|x| *x == k).unwrap();
+                    let k = order.remove(pos);
+                    order.push(k);
+                }
+            }
+            Op::Insert(obj, seg, size, n) => {
+                let k = key(obj, seg);
+                let frames = vec![SegmentFrame { size, key: true }; n as usize];
+                let b = size as u64 * n as u64;
+                let admitted = c.insert(k.clone(), frames);
+                let should = *readers.get(&obj).unwrap_or(&0) >= 2 && b <= CAPACITY;
+                ensure!(
+                    admitted == should,
+                    "insert({k:?}) admitted={admitted}, readers={:?}",
+                    readers.get(&obj)
+                );
+                if admitted {
+                    if let Some(pos) = order.iter().position(|x| *x == k) {
+                        order.remove(pos);
+                        bytes_of.remove(&k);
+                    }
+                    // Evict from the LRU end until the new segment fits.
+                    let mut used: u64 = bytes_of.values().sum();
+                    while used + b > CAPACITY {
+                        let victim = order.remove(0);
+                        used -= bytes_of.remove(&victim).unwrap();
+                    }
+                    order.push(k.clone());
+                    bytes_of.insert(k, b);
+                }
+            }
+        }
+        // Hard invariants after every operation.
+        ensure!(
+            c.used_bytes() <= CAPACITY,
+            "capacity exceeded: {} > {CAPACITY}",
+            c.used_bytes()
+        );
+        let model_used: u64 = bytes_of.values().sum();
+        ensure!(
+            c.used_bytes() == model_used,
+            "byte accounting diverged: cache={} model={model_used}",
+            c.used_bytes()
+        );
+        ensure!(
+            c.lru_order() == order,
+            "LRU order diverged:\n cache={:?}\n model={order:?}",
+            c.lru_order()
+        );
+        ensure!(c.len() == order.len(), "entry count diverged");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Under any sequence of inserts, lookups and reader churn: capacity is
+    /// never exceeded, residency and eviction follow exact LRU order, byte
+    /// accounting balances, and admission tracks the ≥2-readers interval
+    /// policy precisely.
+    #[test]
+    fn cache_matches_reference_model(ops in proptest::collection::vec(op(), 0..200)) {
+        if let Err(e) = check_ops(&ops) {
+            prop_assert!(false, "{}", e);
+        }
+    }
+}
+
+/// Interval caching's point: segments of an object two viewers share stay
+/// resident (and produce hits), while a single viewer's segments are never
+/// admitted — they cannot displace the shared working set.
+#[test]
+fn shared_viewer_segments_stay_resident_solo_pass_through() {
+    let mut c = SegmentCache::new(CAPACITY);
+    c.reader_started("shared");
+    c.reader_started("shared");
+    c.reader_started("solo");
+    for seg in 0..4 {
+        assert!(c.insert(
+            SegmentKey {
+                object: "shared".into(),
+                level: GradeLevel::NOMINAL,
+                segment: seg,
+            },
+            vec![
+                SegmentFrame {
+                    size: 100,
+                    key: true
+                };
+                2
+            ],
+        ));
+        assert!(!c.insert(
+            SegmentKey {
+                object: "solo".into(),
+                level: GradeLevel::NOMINAL,
+                segment: seg,
+            },
+            vec![
+                SegmentFrame {
+                    size: 100,
+                    key: true
+                };
+                2
+            ],
+        ));
+    }
+    // Every shared segment is still resident and hits; no solo segment is.
+    for seg in 0..4 {
+        assert!(c
+            .get(&SegmentKey {
+                object: "shared".into(),
+                level: GradeLevel::NOMINAL,
+                segment: seg,
+            })
+            .is_some());
+        assert!(c
+            .get(&SegmentKey {
+                object: "solo".into(),
+                level: GradeLevel::NOMINAL,
+                segment: seg,
+            })
+            .is_none());
+    }
+    assert_eq!(c.stats.admitted, 4);
+    assert_eq!(c.stats.rejected, 4);
+    assert_eq!(c.stats.hits, 4);
+}
