@@ -7,7 +7,7 @@
 //! 3. feedback-report interval sensitivity.
 
 use hermes_bench::harness::{max_dur_of, mean_of, run_seeds};
-use hermes_bench::{fmt_dur_ms, print_table, StreamingParams, Table};
+use hermes_bench::{fmt_dur_ms, ExpOpts, StreamingParams, Table};
 use hermes_client::PlayoutConfig;
 use hermes_core::{GradingOrder, MediaDuration, MediaTime, SkewPolicy};
 use hermes_simnet::{CongestionEpoch, CongestionProfile, JitterModel, LossModel};
@@ -22,7 +22,9 @@ fn congested() -> CongestionProfile {
 }
 
 fn main() {
-    let seeds = [3u64, 5, 8];
+    let opts = ExpOpts::parse();
+    let mut out = opts.sink();
+    let seeds = opts.seeds(&[3, 5, 8]);
 
     // --- Ablation 1: grading order ---------------------------------------
     let mut t = Table::new(vec![
@@ -61,7 +63,7 @@ fn main() {
             ),
         ]);
     }
-    print_table(
+    out.table(
         "EXP-ABLATE/1 — grading order under a 12 s congestion epoch",
         &t,
     );
@@ -104,7 +106,7 @@ fn main() {
             format!("{:.0}", mean_of(&runs, |m| m.frames_played as f64)),
         ]);
     }
-    print_table(
+    out.table(
         "EXP-ABLATE/2 — skew-repair policy at 35% load + 1% loss",
         &t,
     );
@@ -137,12 +139,12 @@ fn main() {
             format!("{:.0}", mean_of(&runs, |m| m.net_dropped as f64)),
         ]);
     }
-    print_table("EXP-ABLATE/3 — feedback-interval sensitivity", &t);
-    println!(
+    out.table("EXP-ABLATE/3 — feedback-interval sensitivity", &t);
+    out.line(
         "expected shapes: (1) audio-first grading spends its degrades on the cheap\n\
          audio stream and must cut deeper; video-first sheds more bandwidth per step.\n\
          (2) the combined policy bounds skew at least as well as either alone.\n\
          (3) short feedback intervals adapt faster (fewer drops during the epoch);\n\
-         very long intervals react late and recover slowly."
+         very long intervals react late and recover slowly.",
     );
 }

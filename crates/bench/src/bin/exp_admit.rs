@@ -7,7 +7,7 @@
 //! Economy / Standard / Premium clients over one shared 10 Mbps server
 //! uplink, sweeping the offered load, and report per-class admission rates.
 
-use hermes_bench::{print_table, Table};
+use hermes_bench::{ExpOpts, Table};
 use hermes_core::{MediaTime, PricingClass, ServerId};
 use hermes_service::{install_course, ClientConfig, LessonShape, ServerConfig, WorldBuilder};
 use hermes_simnet::{LinkSpec, SimRng};
@@ -74,9 +74,12 @@ fn run_point(n_clients: usize, seed: u64) -> Vec<(PricingClass, u64, u64)> {
 }
 
 fn main() {
-    println!(
+    let opts = ExpOpts::parse();
+    let mut out = opts.sink();
+    let seeds = opts.seeds(&[1, 2, 3]);
+    out.line(
         "population: equal thirds Economy/Standard/Premium; each request needs\n\
-         ~2.25 Mbps of a shared 10 Mbps server uplink (≈4 fit at full quality)"
+         ~2.25 Mbps of a shared 10 Mbps server uplink (≈4 fit at full quality)",
     );
     let mut t = Table::new(vec![
         "offered sessions",
@@ -87,7 +90,7 @@ fn main() {
     for &n in &[3usize, 6, 9, 12, 18] {
         // Aggregate over three seeds.
         let mut agg: std::collections::BTreeMap<PricingClass, (u64, u64)> = Default::default();
-        for seed in [1u64, 2, 3] {
+        for &seed in &seeds {
             for (c, a, r) in run_point(n, seed) {
                 let e = agg.entry(c).or_default();
                 e.0 += a;
@@ -108,13 +111,13 @@ fn main() {
             ]);
         }
     }
-    print_table(
+    out.table(
         "EXP-ADMIT — admission rate per pricing class vs offered load (3 seeds)",
         &t,
     );
-    println!(
+    out.line(
         "expected shape: at low load everyone is admitted; as offered load grows the\n\
          Economy class (70% utilization ceiling) is rejected first, Standard (85%)\n\
-         second, Premium (97%) last — 'a user who pays more should be serviced'."
+         second, Premium (97%) last — 'a user who pays more should be serviced'.",
     );
 }

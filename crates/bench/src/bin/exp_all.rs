@@ -1,6 +1,7 @@
 //! Run every experiment binary in sequence (the full EXPERIMENTS.md
 //! regeneration). Exits non-zero if any experiment fails.
 
+use hermes_bench::ExpOpts;
 use std::process::Command;
 
 const EXPERIMENTS: &[&str] = &[
@@ -20,15 +21,19 @@ const EXPERIMENTS: &[&str] = &[
     "exp_concur",
     "exp_faults",
     "exp_placement",
+    "exp_scale",
 ];
 
 fn main() {
+    let opts = ExpOpts::parse();
+    let forwarded = opts.forwarded_args();
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
     let mut failed = Vec::new();
     for name in EXPERIMENTS {
         println!("\n################ {name} ################");
         let status = Command::new(dir.join(name))
+            .args(&forwarded)
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
         if !status.success() {

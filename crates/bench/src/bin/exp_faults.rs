@@ -3,7 +3,7 @@
 //! how long the failure detector takes to notice and how long the full
 //! reconnect-and-resume cycle takes. The session must survive every cell.
 
-use hermes_bench::{print_table, Table};
+use hermes_bench::{ExpOpts, Table};
 use hermes_core::{DocumentId, MediaDuration, MediaTime, ServerId};
 use hermes_service::{ClientConfig, ServerConfig, WorldBuilder};
 use hermes_simnet::{FaultPlan, LinkSpec, SimRng};
@@ -17,8 +17,13 @@ struct Cell {
     errors: usize,
 }
 
-fn run_cell(crash_at: MediaTime, heartbeat: MediaDuration, outage: MediaDuration) -> Cell {
-    let mut b = WorldBuilder::new(71);
+fn run_cell(
+    crash_at: MediaTime,
+    heartbeat: MediaDuration,
+    outage: MediaDuration,
+    seed: u64,
+) -> Cell {
+    let mut b = WorldBuilder::new(seed);
     let scfg = ServerConfig {
         heartbeat_interval: heartbeat,
         ..Default::default()
@@ -29,8 +34,8 @@ fn run_cell(crash_at: MediaTime, heartbeat: MediaDuration, outage: MediaDuration
         ..Default::default()
     };
     let cli = b.add_client(LinkSpec::lan(10_000_000), ccfg);
-    let mut sim = b.build(71);
-    let mut rng = SimRng::seed_from_u64(72);
+    let mut sim = b.build(seed);
+    let mut rng = SimRng::seed_from_u64(seed.wrapping_add(1));
     hermes_service::install_figure2(sim.app_mut().server_mut(srv), DocumentId::new(1), &mut rng);
 
     sim.install_faults(&FaultPlan::new().crash_for(srv, crash_at, outage));
@@ -63,6 +68,9 @@ fn fmt_opt(d: Option<MediaDuration>) -> String {
 }
 
 fn main() {
+    let opts = ExpOpts::parse();
+    let mut out = opts.sink();
+    let seed = opts.seed(71);
     // Crash points span the presentation: during prefill, early playout,
     // mid-playout, and near the end of the 19 s Fig. 2 timeline.
     let crash_points = [
@@ -89,7 +97,7 @@ fn main() {
     let mut all_ok = true;
     for &crash_at in &crash_points {
         for &hb in &heartbeats {
-            let cell = run_cell(crash_at, hb, outage);
+            let cell = run_cell(crash_at, hb, outage, seed);
             all_ok &= cell.completed && cell.errors == 0;
             t.row(vec![
                 format!("{}", cell.crash_at),
@@ -101,17 +109,17 @@ fn main() {
             ]);
         }
     }
-    print_table(
+    out.table(
         &format!(
             "Server crash ({} ms outage) vs. client heartbeat interval",
             outage.as_micros() / 1000
         ),
         &t,
     );
-    println!();
-    println!(
+    out.line("");
+    out.line(
         "Detection scales with the heartbeat interval (K = 3 missed beats); \
-         recovery adds one tracked-request round trip."
+         recovery adds one tracked-request round trip.",
     );
     assert!(all_ok, "a cell failed to recover — resilience regression");
 }

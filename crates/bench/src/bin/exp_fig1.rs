@@ -2,7 +2,7 @@
 //! (paper Fig. 1, BNF) against the hand-written parser, and report a
 //! production-coverage table plus parser throughput on a generated corpus.
 
-use hermes_bench::{print_table, Table};
+use hermes_bench::{ExpOpts, Table};
 use hermes_core::{DocumentId, ServerId};
 use hermes_hml::{parse, scenario_from_markup, serialize};
 use std::time::Instant;
@@ -50,6 +50,8 @@ fn big_corpus(docs: usize) -> Vec<String> {
 }
 
 fn main() {
+    let opts = ExpOpts::parse();
+    let mut out = opts.sink();
     let mut t = Table::new(vec![
         "production",
         "accepted",
@@ -76,7 +78,7 @@ fn main() {
             tick(lowered),
         ]);
     }
-    print_table("Fig. 1 — grammar production coverage", &t);
+    out.table("Fig. 1 — grammar production coverage", &t);
 
     // Throughput on a generated corpus.
     let corpus = big_corpus(200);
@@ -88,18 +90,18 @@ fn main() {
         parsed += doc.media_count();
     }
     let dt = start.elapsed();
-    println!(
+    out.line(&format!(
         "corpus: {} documents / {} KiB parsed in {:?} ({:.1} MiB/s), {} media elements",
         corpus.len(),
         bytes / 1024,
         dt,
         bytes as f64 / 1048576.0 / dt.as_secs_f64(),
         parsed
-    );
+    ));
     if !all_ok {
         std::process::exit(1);
     }
-    println!("all productions accepted, round-tripped and lowered ✓");
+    out.line("all productions accepted, round-tripped and lowered ✓");
 }
 
 fn tick(b: bool) -> String {

@@ -3,7 +3,7 @@
 //! render the desktop storyboard (the figure's upper half), then stream it
 //! through the full service and verify playout matched the authored timing.
 
-use hermes_bench::{print_table, Table};
+use hermes_bench::{ExpOpts, Table};
 use hermes_client::{desktop_at, PlayoutEventKind};
 use hermes_core::{ComponentId, DocumentId, MediaTime, PlayoutSchedule, ServerId};
 use hermes_hml::{scenario_from_markup, FIGURE2_MARKUP};
@@ -11,13 +11,15 @@ use hermes_service::{install_figure2, ClientConfig, ServerConfig, WorldBuilder};
 use hermes_simnet::{LinkSpec, SimRng};
 
 fn main() {
+    let opts = ExpOpts::parse();
+    let mut out = opts.sink();
     let scenario =
         scenario_from_markup(FIGURE2_MARKUP, DocumentId::new(1), ServerId::new(0)).unwrap();
     let schedule = PlayoutSchedule::from_scenario(&scenario);
 
     // The timeline of the figure's lower half.
-    println!("== Fig. 2 (lower half) — playout timelines ==");
-    println!("{}", schedule.timeline_table());
+    out.line("== Fig. 2 (lower half) — playout timelines ==");
+    out.line(&schedule.timeline_table());
 
     // Paper timeline checks: I1 [0,5), I2 [5,12), A1∥V [6,14), A2 [15,19).
     let expect = [
@@ -32,7 +34,7 @@ fn main() {
         assert_eq!(e.start, MediaTime::from_millis(start), "cmp-{id} start");
         assert_eq!(e.end(), MediaTime::from_millis(end), "cmp-{id} end");
     }
-    println!("authored timeline matches the paper's figure ✓\n");
+    out.line("authored timeline matches the paper's figure ✓\n");
 
     // The desktop at the figure's sample instants (upper half).
     let mut t = Table::new(vec!["instant", "visible/audible components"]);
@@ -45,7 +47,7 @@ fn main() {
             .join(", ");
         t.row(vec![format!("{}s", ms / 1000), desc]);
     }
-    print_table("Fig. 2 (upper half) — desktop contents over time", &t);
+    out.table("Fig. 2 (upper half) — desktop contents over time", &t);
 
     // Interval-algebra analysis: the Allen relation between every component
     // pair (the paper's interval-based-model lineage, [LIT 93]).
@@ -53,19 +55,20 @@ fn main() {
     for (a, b, rel) in scenario.temporal_relations() {
         t.row(vec![a.to_string(), b.to_string(), format!("{rel:?}")]);
     }
-    print_table("temporal relations between components (Allen algebra)", &t);
+    out.table("temporal relations between components (Allen algebra)", &t);
 
     // Stream it through the full service and compare achieved vs authored
     // start times.
-    let mut b = WorldBuilder::new(2);
+    let seed = opts.seed(2);
+    let mut b = WorldBuilder::new(seed);
     let srv = b.add_server(
         ServerId::new(0),
         LinkSpec::lan(10_000_000),
         ServerConfig::default(),
     );
     let cli = b.add_client(LinkSpec::lan(10_000_000), ClientConfig::default());
-    let mut sim = b.build(2);
-    let mut rng = SimRng::seed_from_u64(3);
+    let mut sim = b.build(seed);
+    let mut rng = SimRng::seed_from_u64(seed.wrapping_add(1));
     install_figure2(sim.app_mut().server_mut(srv), DocumentId::new(1), &mut rng);
     sim.with_api(|w, api| {
         w.client_mut(cli)
@@ -101,11 +104,11 @@ fn main() {
             );
         }
     }
-    print_table("streamed playout vs authored scenario (clean network)", &t);
+    out.table("streamed playout vs authored scenario (clean network)", &t);
     let (_, startup, skew) = c.completed[0];
-    println!(
+    out.line(&format!(
         "startup delay {startup}, max A/V skew {skew}, glitches {}",
         p.engine.total_stats().glitches
-    );
-    println!("FIG2 reproduction ✓");
+    ));
+    out.line("FIG2 reproduction ✓");
 }

@@ -4,7 +4,7 @@
 //! retrieval, flow scheduler, media servers, client/server QoS managers,
 //! media stream quality converters, buffers and the presentation scheduler.
 
-use hermes_bench::{fmt_dur_ms, print_table, Table};
+use hermes_bench::{fmt_dur_ms, ExpOpts, Table};
 use hermes_core::MediaDuration;
 use hermes_core::{MediaTime, ServerId};
 use hermes_server::{compute_flow_scenario, FlowConfig};
@@ -12,7 +12,10 @@ use hermes_service::{install_course, ClientConfig, LessonShape, ServerConfig, Wo
 use hermes_simnet::{CongestionEpoch, CongestionProfile, JitterModel, LinkSpec, LossModel, SimRng};
 
 fn main() {
-    let mut b = WorldBuilder::new(31);
+    let opts = ExpOpts::parse();
+    let mut out = opts.sink();
+    let seed = opts.seed(31);
+    let mut b = WorldBuilder::new(seed);
     let server = b.add_server(
         ServerId::new(0),
         LinkSpec::lan(50_000_000),
@@ -37,9 +40,9 @@ fn main() {
         extra_loss: 0.02,
     }]);
     let client = b.add_client(access, ClientConfig::default());
-    let mut sim = b.build(31);
+    let mut sim = b.build(seed);
 
-    let mut rng = SimRng::seed_from_u64(32);
+    let mut rng = SimRng::seed_from_u64(seed.wrapping_add(1));
     let lessons = install_course(
         sim.app_mut().server_mut(server),
         "Architecture",
@@ -77,12 +80,12 @@ fn main() {
                 format!("{}-server", p.kind),
             ]);
         }
-        print_table("flow scheduler — computed flow scenario", &t);
-        println!(
+        out.table("flow scheduler — computed flow scenario", &t);
+        out.line(&format!(
             "aggregate reserved bandwidth: {} kbps (lead {})",
             flow.aggregate_bandwidth_bps() / 1000,
             flow.lead
-        );
+        ));
     }
 
     sim.with_api(|w, api| {
@@ -177,7 +180,7 @@ fn main() {
             net.packets_dropped_queue
         ),
     ]);
-    print_table(
+    out.table(
         "Fig. 3 — per-component activity over one loaded session",
         &t,
     );
@@ -187,5 +190,5 @@ fn main() {
         sess.qos.degrades_issued > 0,
         "congestion epoch must drive the grading engine"
     );
-    println!("FIG3 reproduction ✓ (all architecture components active)");
+    out.line("FIG3 reproduction ✓ (all architecture components active)");
 }

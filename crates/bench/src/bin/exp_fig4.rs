@@ -3,7 +3,7 @@
 //! interactions until every transition has been exercised, and print the
 //! coverage matrix.
 
-use hermes_bench::{print_table, Table};
+use hermes_bench::{ExpOpts, Table};
 use hermes_client::{all_legal_transitions, AppEvent, AppState, AppStateMachine};
 use hermes_core::{DocumentId, LinkTarget, MediaTime, ServerId};
 use hermes_service::{install_course, ClientConfig, LessonShape, ServerConfig, WorldBuilder};
@@ -11,13 +11,16 @@ use hermes_simnet::{LinkSpec, SimRng};
 use std::collections::BTreeSet;
 
 fn main() {
+    let opts = ExpOpts::parse();
+    let mut out = opts.sink();
+    let seed = opts.seed(9);
     // 1. The diagram itself.
     let legal = all_legal_transitions();
     let mut t = Table::new(vec!["from", "event", "to"]);
     for (s, e, to) in &legal {
         t.row(vec![s.to_string(), e.to_string(), to.to_string()]);
     }
-    print_table(
+    out.table(
         &format!(
             "Fig. 4 — application state transition diagram ({} transitions)",
             legal.len()
@@ -31,7 +34,7 @@ fn main() {
     // Session A: subscribe → browse → view → pause/resume → local link →
     // reload → end → disconnect.
     {
-        let (mut sim, srv, cli, lessons) = world();
+        let (mut sim, srv, cli, lessons) = world(seed);
         sim.with_api(|w, api| w.client_mut(cli).connect(api, srv, Some(lessons[0])));
         sim.run_until(MediaTime::from_secs(4));
         sim.with_api(|w, api| w.client_mut(cli).pause(api));
@@ -51,7 +54,7 @@ fn main() {
     // Session B: known user reconnect (AuthOk), failed request, remote
     // migration, disconnect mid-browse.
     {
-        let (mut sim, srv, cli, lessons) = world();
+        let (mut sim, srv, cli, lessons) = world(seed);
         // First connect subscribes; disconnect; reconnect hits AuthOk.
         sim.with_api(|w, api| w.client_mut(cli).connect(api, srv, None));
         sim.run_until(MediaTime::from_secs(1));
@@ -196,14 +199,14 @@ fn main() {
             if hit { "yes".into() } else { "NO".to_string() },
         ]);
     }
-    print_table("transition coverage", &t);
-    println!(
+    out.table("transition coverage", &t);
+    out.line(&format!(
         "coverage: {}/{} transitions exercised",
         legal.len() - missing,
         legal.len()
-    );
+    ));
     assert_eq!(missing, 0, "uncovered transitions remain");
-    println!("FIG4 reproduction ✓");
+    out.line("FIG4 reproduction ✓");
 }
 
 type World = (
@@ -213,8 +216,8 @@ type World = (
     Vec<DocumentId>,
 );
 
-fn world() -> World {
-    let mut b = WorldBuilder::new(9);
+fn world(seed: u64) -> World {
+    let mut b = WorldBuilder::new(seed);
     let srv = b.add_server(
         ServerId::new(0),
         LinkSpec::lan(10_000_000),
@@ -226,8 +229,8 @@ fn world() -> World {
         ServerConfig::default(),
     );
     let cli = b.add_client(LinkSpec::lan(10_000_000), ClientConfig::default());
-    let mut sim = b.build(9);
-    let mut rng = SimRng::seed_from_u64(10);
+    let mut sim = b.build(seed);
+    let mut rng = SimRng::seed_from_u64(seed.wrapping_add(1));
     let shape = LessonShape {
         images: 1,
         image_secs: 2,

@@ -3,7 +3,7 @@
 //! paper's mapping — scenario/discrete media/control over TCP, continuous
 //! media over RTP/UDP, feedback over RTCP, mail over SMTP/MIME.
 
-use hermes_bench::{print_table, Table};
+use hermes_bench::{ExpOpts, Table};
 use hermes_core::{MediaTime, ServerId};
 use hermes_service::{
     install_course, ClientConfig, LessonShape, MailMessage, ServerConfig, StackPath, WorldBuilder,
@@ -11,15 +11,18 @@ use hermes_service::{
 use hermes_simnet::{LinkSpec, SimRng};
 
 fn main() {
-    let mut b = WorldBuilder::new(51);
+    let opts = ExpOpts::parse();
+    let mut out = opts.sink();
+    let seed = opts.seed(51);
+    let mut b = WorldBuilder::new(seed);
     let server = b.add_server(
         ServerId::new(0),
         LinkSpec::lan(20_000_000),
         ServerConfig::default(),
     );
     let client = b.add_client(LinkSpec::lan(20_000_000), ClientConfig::default());
-    let mut sim = b.build(51);
-    let mut rng = SimRng::seed_from_u64(52);
+    let mut sim = b.build(seed);
+    let mut rng = SimRng::seed_from_u64(seed.wrapping_add(1));
     let lessons = install_course(
         sim.app_mut().server_mut(server),
         "Stack",
@@ -83,7 +86,7 @@ fn main() {
             format!("{:.1}%", *bytes as f64 * 100.0 / total_bytes as f64),
         ]);
     }
-    print_table(
+    out.table(
         "Fig. 5 — protocol stack byte accounting (delivered messages)",
         &t,
     );
@@ -110,5 +113,5 @@ fn main() {
         media * 2 > total_bytes,
         "continuous media should dominate bytes: {media} of {total_bytes}"
     );
-    println!("FIG5 reproduction ✓ (all four stack paths active, media dominates)");
+    out.line("FIG5 reproduction ✓ (all four stack paths active, media dominates)");
 }

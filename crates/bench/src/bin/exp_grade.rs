@@ -9,7 +9,7 @@
 //! and delivered rate over time, and compare playout quality.
 
 use hermes_bench::harness::standard_lesson;
-use hermes_bench::{print_table, StreamingParams, Table};
+use hermes_bench::{ExpOpts, StreamingParams, Table};
 use hermes_client::BufferConfig;
 use hermes_client::PlayoutConfig;
 use hermes_core::{GradingOrder, MediaKind, MediaTime, ServerId};
@@ -139,11 +139,14 @@ fn run_traced(
 }
 
 fn main() {
-    println!(
+    let opts = ExpOpts::parse();
+    let mut out = opts.sink();
+    let seed = opts.seed(77);
+    out.line(
         "workload: 30 s A/V clip on 4 Mbps; congestion epoch t=10..22 s at 55% load\n\
-         (effective capacity 1.8 Mbps < the 2.25 Mbps nominal aggregate)"
+         (effective capacity 1.8 Mbps < the 2.25 Mbps nominal aggregate)",
     );
-    let (trace, with) = run_traced(true, GradingOrder::VideoFirst, 77);
+    let (trace, with) = run_traced(true, GradingOrder::VideoFirst, seed);
     let mut t = Table::new(vec![
         "t (s)",
         "audio level",
@@ -173,9 +176,9 @@ fn main() {
         }
         last = (r.audio_level, r.video_level);
     }
-    print_table("EXP-GRADE — quality-level trace with grading ON", &t);
+    out.table("EXP-GRADE — quality-level trace with grading ON", &t);
 
-    let (_, without) = run_traced(false, GradingOrder::VideoFirst, 77);
+    let (_, without) = run_traced(false, GradingOrder::VideoFirst, seed);
     let mut t = Table::new(vec![
         "grading",
         "degrades",
@@ -198,12 +201,12 @@ fn main() {
             m.frames_played.to_string(),
         ]);
     }
-    print_table("EXP-GRADE — grading on vs off over the same epoch", &t);
-    println!(
+    out.table("EXP-GRADE — grading on vs off over the same epoch", &t);
+    out.line(
         "expected shape: with grading ON, video degrades (audio untouched or later),\n\
          the flow fits the congested link, and quality climbs back after t=22 s;\n\
          OFF, the nominal-rate flow overloads the link for the whole epoch —\n\
-         more network drops and more presentation disruptions."
+         more network drops and more presentation disruptions.",
     );
     assert!(with.degrades > 0 && with.upgrades > 0);
     assert_eq!(without.degrades, 0);

@@ -8,14 +8,14 @@
 //! Sweep the user's revisit delay against the server's grace period and
 //! report whether the suspended session survived.
 
-use hermes_bench::{print_table, Table};
+use hermes_bench::{ExpOpts, Table};
 use hermes_core::{LinkTarget, MediaDuration, MediaTime, ServerId};
 use hermes_service::{install_course, ClientConfig, LessonShape, ServerConfig, WorldBuilder};
 use hermes_simnet::{LinkSpec, SimRng};
 
 /// Returns (session_alive_at_revisit, client_was_notified_of_expiry).
-fn run(revisit_after_s: i64, grace_s: i64) -> (bool, bool) {
-    let mut b = WorldBuilder::new(13);
+fn run(revisit_after_s: i64, grace_s: i64, seed: u64) -> (bool, bool) {
+    let mut b = WorldBuilder::new(seed);
     let mut cfg1 = ServerConfig::default();
     cfg1.suspend_grace = MediaDuration::from_secs(grace_s);
     let s1 = b.add_server(ServerId::new(0), LinkSpec::lan(10_000_000), cfg1);
@@ -25,8 +25,8 @@ fn run(revisit_after_s: i64, grace_s: i64) -> (bool, bool) {
         ServerConfig::default(),
     );
     let cli = b.add_client(LinkSpec::lan(10_000_000), ClientConfig::default());
-    let mut sim = b.build(13);
-    let mut rng = SimRng::seed_from_u64(14);
+    let mut sim = b.build(seed);
+    let mut rng = SimRng::seed_from_u64(seed.wrapping_add(1));
     let shape = LessonShape {
         images: 0,
         image_secs: 0,
@@ -89,6 +89,9 @@ fn run(revisit_after_s: i64, grace_s: i64) -> (bool, bool) {
 }
 
 fn main() {
+    let opts = ExpOpts::parse();
+    let mut out = opts.sink();
+    let seed = opts.seed(13);
     let mut t = Table::new(vec![
         "grace (s)",
         "revisit after (s)",
@@ -97,7 +100,7 @@ fn main() {
         "outcome",
     ]);
     for &(grace, revisit) in &[(10i64, 5i64), (10, 20), (30, 20), (30, 45), (5, 4), (5, 30)] {
-        let (alive, notified) = run(revisit, grace);
+        let (alive, notified) = run(revisit, grace, seed);
         let expect_alive = revisit < grace;
         assert_eq!(
             alive, expect_alive,
@@ -118,13 +121,13 @@ fn main() {
             },
         ]);
     }
-    print_table(
+    out.table(
         "EXP-MIGRATE — suspended-connection grace vs revisit delay",
         &t,
     );
-    println!(
+    out.line(
         "expected shape: a revisit inside the grace window finds the session alive\n\
          and resumable; past the window the server has torn it down and the client\n\
-         was informed — exactly the §5 suspend semantics."
+         was informed — exactly the §5 suspend semantics.",
     );
 }

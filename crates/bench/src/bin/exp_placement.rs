@@ -8,7 +8,7 @@
 //! viewers, sweeping the replication factor and the segment-cache budget;
 //! one extra cell crashes a live media node mid-playout and must fail over.
 
-use hermes_bench::{print_table, Table};
+use hermes_bench::{ExpOpts, Table};
 use hermes_core::{DocumentId, MediaDuration, MediaTime, ServerId};
 use hermes_service::{install_figure2, ClientConfig, MediaTierConfig, ServerConfig, WorldBuilder};
 use hermes_simnet::{FaultKind, LinkSpec, SimRng};
@@ -29,8 +29,14 @@ struct Cell {
     failovers: u64,
 }
 
-fn run_cell(label: &'static str, replication: usize, cache_bytes: u64, crash: bool) -> Cell {
-    let mut b = WorldBuilder::new(31);
+fn run_cell(
+    label: &'static str,
+    replication: usize,
+    cache_bytes: u64,
+    crash: bool,
+    seed: u64,
+) -> Cell {
+    let mut b = WorldBuilder::new(seed);
     let srv = b.add_server(
         ServerId::new(0),
         LinkSpec::lan(50_000_000),
@@ -47,8 +53,8 @@ fn run_cell(label: &'static str, replication: usize, cache_bytes: u64, crash: bo
         cache_bytes,
         ..Default::default()
     });
-    let mut sim = b.build(31);
-    let mut rng = SimRng::seed_from_u64(32);
+    let mut sim = b.build(seed);
+    let mut rng = SimRng::seed_from_u64(seed.wrapping_add(1));
     install_figure2(sim.app_mut().server_mut(srv), DocumentId::new(1), &mut rng);
     sim.app_mut().distribute_media();
 
@@ -117,12 +123,15 @@ fn run_cell(label: &'static str, replication: usize, cache_bytes: u64, crash: bo
 }
 
 fn main() {
+    let opts = ExpOpts::parse();
+    let mut out = opts.sink();
+    let seed = opts.seed(31);
     let cells = [
-        run_cell("no-replication, no-cache", 1, 0, false),
-        run_cell("paired replicas, 256 KB", 2, 256 * 1024, false),
-        run_cell("paired replicas, 1 MB", 2, 1024 * 1024, false),
-        run_cell("triple replicas, 1 MB", 3, 1024 * 1024, false),
-        run_cell("paired + node crash @6s", 2, 1024 * 1024, true),
+        run_cell("no-replication, no-cache", 1, 0, false, seed),
+        run_cell("paired replicas, 256 KB", 2, 256 * 1024, false, seed),
+        run_cell("paired replicas, 1 MB", 2, 1024 * 1024, false, seed),
+        run_cell("triple replicas, 1 MB", 3, 1024 * 1024, false, seed),
+        run_cell("paired + node crash @6s", 2, 1024 * 1024, true, seed),
     ];
 
     let mut t = Table::new(vec![
@@ -157,16 +166,16 @@ fn main() {
             c.failovers.to_string(),
         ]);
     }
-    print_table(
+    out.table(
         &format!("Fig. 2 over {MEDIA_NODES} media nodes, {CLIENTS} staggered shared viewers"),
         &t,
     );
-    println!();
-    println!(
+    out.line("");
+    out.line(
         "Rendezvous placement spreads the catalog; the interval cache admits\n\
          only segments with concurrent readers, so the trailing viewer rides\n\
          the leader's fetches. A crashed replica re-points its live streams\n\
-         at a survivor and playout completes without loss."
+         at a survivor and playout completes without loss.",
     );
 
     for c in &cells {

@@ -5,12 +5,15 @@
 //! Sweep the number of servers; measure result completeness and query
 //! latency (request → merged response).
 
-use hermes_bench::{print_table, Table};
+use hermes_bench::{ExpOpts, Table};
 use hermes_core::{MediaTime, ServerId};
 use hermes_service::{install_course, ClientConfig, LessonShape, ServerConfig, WorldBuilder};
 use hermes_simnet::{LinkSpec, SimRng};
 
 fn main() {
+    let opts = ExpOpts::parse();
+    let mut out = opts.sink();
+    let base = opts.seed(0);
     let mut t = Table::new(vec![
         "servers",
         "lessons total",
@@ -20,7 +23,7 @@ fn main() {
         "latency (ms)",
     ]);
     for &n_servers in &[1usize, 2, 4, 8] {
-        let mut b = WorldBuilder::new(n_servers as u64);
+        let mut b = WorldBuilder::new(base + n_servers as u64);
         let mut server_nodes = Vec::new();
         for i in 0..n_servers {
             server_nodes.push(b.add_server(
@@ -30,8 +33,8 @@ fn main() {
             ));
         }
         let client = b.add_client(LinkSpec::lan(10_000_000), ClientConfig::default());
-        let mut sim = b.build(n_servers as u64);
-        let mut rng = SimRng::seed_from_u64(99);
+        let mut sim = b.build(base + n_servers as u64);
+        let mut rng = SimRng::seed_from_u64(base + 99);
         let shape = LessonShape {
             images: 0,
             image_secs: 0,
@@ -93,13 +96,13 @@ fn main() {
                 .unwrap_or("timeout".into()),
         ]);
     }
-    print_table(
+    out.table(
         "EXP-SEARCH — distributed search fan-out (token 'glaciers')",
         &t,
     );
-    println!(
+    out.line(
         "expected shape: hits equal the matching lessons exactly at every scale;\n\
          latency grows with the slowest fanned-out server (the merge waits for all\n\
-         partial results, §6.2.2)."
+         partial results, §6.2.2).",
     );
 }

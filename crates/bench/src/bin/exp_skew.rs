@@ -7,14 +7,16 @@
 //! Each point is averaged over three seeds; points run in parallel.
 
 use hermes_bench::harness::{max_dur_of, mean_of, run_seeds};
-use hermes_bench::{fmt_dur_ms, print_table, StreamingParams, Table};
+use hermes_bench::{fmt_dur_ms, ExpOpts, StreamingParams, Table};
 use hermes_client::PlayoutConfig;
 use hermes_core::{MediaDuration, MediaTime};
 use hermes_simnet::{CongestionEpoch, CongestionProfile, JitterModel, LossModel};
 
 fn main() {
+    let opts = ExpOpts::parse();
+    let mut out = opts.sink();
     let loads = [0.0, 0.1, 0.2, 0.3, 0.4, 0.45];
-    let seeds = [11, 22, 33];
+    let seeds = opts.seeds(&[11, 22, 33]);
     let mut t = Table::new(vec![
         "load",
         "recovery",
@@ -24,7 +26,7 @@ fn main() {
         "dropped",
         "frames",
     ]);
-    println!("workload: 20 s synchronized A/V clip over a 4 Mbps access link (32 KiB queue)");
+    out.line("workload: 20 s synchronized A/V clip over a 4 Mbps access link (32 KiB queue)");
     for &load in &loads {
         for &(label, playout) in &[
             ("on", PlayoutConfig::default()),
@@ -66,14 +68,14 @@ fn main() {
             ]);
         }
     }
-    print_table(
+    out.table(
         "EXP-SKEW — intermedia skew vs load, short-term recovery on/off (3 seeds)",
         &t,
     );
-    println!(
+    out.line(
         "expected shape: skew grows with load; with recovery ON the skew stays bounded\n\
          (repairs appear as duplicates/drops) while OFF it grows unchecked.\n\
          Beyond ~45% load the nominal-rate flows no longer fit the link: admission\n\
-         rejects them (EXP-ADMIT) and the grading engine must shed rate (EXP-GRADE)."
+         rejects them (EXP-ADMIT) and the grading engine must shed rate (EXP-GRADE).",
     );
 }

@@ -1,15 +1,17 @@
 //! TAB1 — regenerate paper Table 1 ("Description of basic keywords") from
 //! the live keyword registry, and verify every registry entry is covered.
 
-use hermes_bench::{print_table, Table};
+use hermes_bench::{ExpOpts, Table};
 use hermes_hml::keywords::{keyword_table, AttrKeyword, TagKeyword};
 
 fn main() {
+    let opts = ExpOpts::parse();
+    let mut out = opts.sink();
     let mut t = Table::new(vec!["Keyword", "Description"]);
     for row in keyword_table() {
         t.row(vec![row.keyword.clone(), row.description.to_string()]);
     }
-    print_table(
+    out.table(
         "Table 1 — basic keywords of the markup language (live registry)",
         &t,
     );
@@ -40,9 +42,9 @@ fn main() {
         }
     }
     if missing.is_empty() {
-        println!("coverage: every parser keyword appears in the table ✓");
+        out.line("coverage: every parser keyword appears in the table ✓");
     } else {
-        println!("coverage: MISSING {missing:?}");
+        out.line(&format!("coverage: MISSING {missing:?}"));
         std::process::exit(1);
     }
 }

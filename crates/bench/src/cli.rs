@@ -1,0 +1,182 @@
+//! Tiny shared argument parsing for the `exp_*` binaries.
+//!
+//! Every experiment accepts the same three flags, so CI and local sweeps
+//! can vary them without editing constants:
+//!
+//! - `--seed N` — override the experiment's base RNG seed,
+//! - `--out PATH` — additionally write every caption/table/comment line
+//!   to `PATH` (stdout is unaffected),
+//! - `--smoke` — run a reduced grid where the experiment supports one
+//!   (used by the CI determinism gate).
+//!
+//! No external crates: flag parsing is a few lines and the binaries need
+//! nothing fancier.
+
+use crate::tables::Table;
+use std::fs::File;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Parsed common experiment options.
+#[derive(Debug, Clone, Default)]
+pub struct ExpOpts {
+    /// `--seed N`: base-seed override.
+    pub seed: Option<u64>,
+    /// `--out PATH`: tee experiment output into this file.
+    pub out: Option<PathBuf>,
+    /// `--smoke`: reduced grid for CI.
+    pub smoke: bool,
+}
+
+impl ExpOpts {
+    /// Parse the process arguments; prints usage and exits on anything
+    /// unrecognised.
+    pub fn parse() -> Self {
+        match Self::from_args(std::env::args().skip(1)) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("{e}\nusage: [--seed N] [--out PATH] [--smoke]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parse from an explicit argument list (testable core of
+    /// [`parse`](Self::parse)).
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut opts = ExpOpts::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    opts.seed = Some(v.parse().map_err(|_| format!("bad seed {v:?}"))?);
+                }
+                "--out" => {
+                    let v = it.next().ok_or("--out needs a path")?;
+                    opts.out = Some(PathBuf::from(v));
+                }
+                "--smoke" => opts.smoke = true,
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// The base seed, falling back to the experiment's default.
+    pub fn seed(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// A seed list of the same length as `defaults`: the defaults
+    /// themselves, or consecutive seeds from the `--seed` override.
+    pub fn seeds(&self, defaults: &[u64]) -> Vec<u64> {
+        match self.seed {
+            Some(base) => (0..defaults.len() as u64).map(|i| base + i).collect(),
+            None => defaults.to_vec(),
+        }
+    }
+
+    /// The output sink honouring `--out`.
+    pub fn sink(&self) -> Sink {
+        Sink::new(self.out.as_deref())
+    }
+
+    /// The flags to forward to a child experiment process (everything
+    /// except `--out`, which must stay per-process to avoid clobbering).
+    pub fn forwarded_args(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if let Some(s) = self.seed {
+            v.push("--seed".into());
+            v.push(s.to_string());
+        }
+        if self.smoke {
+            v.push("--smoke".into());
+        }
+        v
+    }
+}
+
+/// Writes experiment output to stdout and, when `--out` was given, to a
+/// file as well.
+pub struct Sink {
+    file: Option<File>,
+}
+
+impl Sink {
+    /// A sink teeing into `path` (if any). Panics if the file cannot be
+    /// created — a misspelled `--out` should fail loudly, not silently
+    /// drop results.
+    pub fn new(path: Option<&Path>) -> Self {
+        Sink {
+            file: path.map(|p| {
+                File::create(p).unwrap_or_else(|e| panic!("cannot create {}: {e}", p.display()))
+            }),
+        }
+    }
+
+    /// Emit one line (commentary, workload description).
+    pub fn line(&mut self, s: &str) {
+        println!("{s}");
+        if let Some(f) = &mut self.file {
+            writeln!(f, "{s}").expect("write --out file");
+        }
+    }
+
+    /// Emit a captioned table (the `print_table` format).
+    pub fn table(&mut self, caption: &str, t: &Table) {
+        self.line(&format!("\n== {caption} =="));
+        self.line(&t.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = ExpOpts::from_args(args(&["--seed", "9", "--out", "/tmp/x", "--smoke"])).unwrap();
+        assert_eq!(o.seed, Some(9));
+        assert_eq!(o.out.as_deref(), Some(Path::new("/tmp/x")));
+        assert!(o.smoke);
+        assert_eq!(o.forwarded_args(), args(&["--seed", "9", "--smoke"]));
+    }
+
+    #[test]
+    fn rejects_unknown_and_missing_values() {
+        assert!(ExpOpts::from_args(args(&["--nope"])).is_err());
+        assert!(ExpOpts::from_args(args(&["--seed"])).is_err());
+        assert!(ExpOpts::from_args(args(&["--seed", "x"])).is_err());
+    }
+
+    #[test]
+    fn seed_helpers_honour_override() {
+        let o = ExpOpts::from_args(args(&["--seed", "100"])).unwrap();
+        assert_eq!(o.seed(7), 100);
+        assert_eq!(o.seeds(&[1, 2, 3]), vec![100, 101, 102]);
+        let d = ExpOpts::default();
+        assert_eq!(d.seed(7), 7);
+        assert_eq!(d.seeds(&[1, 2, 3]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sink_tees_to_file() {
+        let path = std::env::temp_dir().join("hermes-bench-cli-test.txt");
+        let mut sink = Sink::new(Some(&path));
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1"]);
+        sink.line("hello");
+        sink.table("cap", &t);
+        drop(sink);
+        let got = std::fs::read_to_string(&path).unwrap();
+        assert!(got.contains("hello"));
+        assert!(got.contains("== cap =="));
+        assert!(got.contains('1'));
+        let _ = std::fs::remove_file(&path);
+    }
+}

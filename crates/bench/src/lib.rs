@@ -7,11 +7,15 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod harness;
 pub mod tables;
+pub mod workload;
 
+pub use cli::{ExpOpts, Sink};
 pub use harness::{
     max_dur_of, mean_of, run_seeds, run_streaming_session, standard_lesson, StreamingMetrics,
     StreamingParams,
 };
 pub use tables::{fmt_dur_ms, print_table, Table};
+pub use workload::{poisson_arrivals, session_arrivals, Arrival, ZipfCatalog};

@@ -1,0 +1,176 @@
+//! Open-loop workload generation for scale experiments: Poisson session
+//! arrivals over a Zipf-distributed catalog.
+//!
+//! VoD audiences are bursty and popularity-skewed: requests arrive
+//! independently (Poisson) and concentrate on a few hot titles (Zipf).
+//! Stream sharing lives or dies by that skew — a batching window only
+//! merges requests that land on the *same* object — so the scale
+//! experiment drives the service with exactly this classic model and
+//! sweeps the skew parameter `s`.
+//!
+//! Everything here is deterministic given a seed: the same `SimRng`
+//! produces the same arrival schedule, which the CI determinism gate
+//! relies on.
+
+use hermes_core::{MediaDuration, MediaTime};
+use hermes_simnet::SimRng;
+
+/// A Zipf(s, N) popularity distribution over catalog ranks `0..N`
+/// (rank 0 = most popular): `P(rank r) ∝ 1 / (r + 1)^s`.
+#[derive(Debug, Clone)]
+pub struct ZipfCatalog {
+    cdf: Vec<f64>,
+}
+
+impl ZipfCatalog {
+    /// A catalog of `n` titles with skew `s` (`s = 0` is uniform; larger
+    /// `s` concentrates mass on the top ranks).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "empty catalog");
+        assert!(s >= 0.0, "negative skew");
+        let weights: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        ZipfCatalog { cdf }
+    }
+
+    /// Number of titles.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false (the constructor rejects empty catalogs).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability mass of `rank`.
+    pub fn probability(&self, rank: usize) -> f64 {
+        let above = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        self.cdf[rank] - above
+    }
+
+    /// Draw one rank.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// One scheduled session request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// When the viewer asks for the document.
+    pub at: MediaTime,
+    /// Catalog rank of the requested title (0 = most popular).
+    pub rank: usize,
+}
+
+/// Poisson arrival times at `rate_per_sec` up to (excluding) `horizon`.
+pub fn poisson_arrivals(rng: &mut SimRng, rate_per_sec: f64, horizon: MediaTime) -> Vec<MediaTime> {
+    assert!(rate_per_sec > 0.0, "non-positive arrival rate");
+    let mut out = Vec::new();
+    let mut t = MediaTime::ZERO;
+    loop {
+        let gap_secs = rng.exponential(1.0 / rate_per_sec);
+        t += MediaDuration::from_micros((gap_secs * 1e6) as i64);
+        if t >= horizon {
+            return out;
+        }
+        out.push(t);
+    }
+}
+
+/// A full open-loop schedule: Poisson arrivals, each assigned a
+/// Zipf-sampled catalog rank. Sorted by time, deterministic in `seed`.
+pub fn session_arrivals(
+    seed: u64,
+    rate_per_sec: f64,
+    horizon: MediaTime,
+    catalog: &ZipfCatalog,
+) -> Vec<Arrival> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    poisson_arrivals(&mut rng, rate_per_sec, horizon)
+        .into_iter()
+        .map(|at| Arrival {
+            at,
+            rank: catalog.sample(&mut rng),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_mass_sums_to_one_and_decreases_by_rank() {
+        let z = ZipfCatalog::new(10, 1.2);
+        let total: f64 = (0..z.len()).map(|r| z.probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        for r in 1..z.len() {
+            assert!(z.probability(r) < z.probability(r - 1));
+        }
+    }
+
+    #[test]
+    fn larger_skew_concentrates_on_the_head() {
+        let flat = ZipfCatalog::new(20, 0.4);
+        let steep = ZipfCatalog::new(20, 1.4);
+        assert!(steep.probability(0) > flat.probability(0));
+        assert!(steep.probability(19) < flat.probability(19));
+        // s = 0 is uniform.
+        let uniform = ZipfCatalog::new(4, 0.0);
+        for r in 0..4 {
+            assert!((uniform.probability(r) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampling_tracks_the_distribution() {
+        let z = ZipfCatalog::new(8, 1.0);
+        let mut rng = SimRng::seed_from_u64(7);
+        let mut counts = [0usize; 8];
+        let n = 20_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (r, &c) in counts.iter().enumerate() {
+            let expect = z.probability(r) * n as f64;
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.25 + 20.0,
+                "rank {r}: observed {c}, expected ≈{expect:.0}"
+            );
+        }
+        // The head dominates the tail.
+        assert!(counts[0] > 4 * counts[7]);
+    }
+
+    #[test]
+    fn poisson_mean_count_matches_rate() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let times = poisson_arrivals(&mut rng, 20.0, MediaTime::from_secs(100));
+        let n = times.len() as f64;
+        assert!((n - 2_000.0).abs() < 200.0, "got {n} arrivals");
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "unsorted arrivals");
+        assert!(*times.last().unwrap() < MediaTime::from_secs(100));
+    }
+
+    #[test]
+    fn schedules_are_deterministic_in_seed() {
+        let z = ZipfCatalog::new(12, 1.0);
+        let a = session_arrivals(42, 15.0, MediaTime::from_secs(30), &z);
+        let b = session_arrivals(42, 15.0, MediaTime::from_secs(30), &z);
+        assert_eq!(a, b);
+        let c = session_arrivals(43, 15.0, MediaTime::from_secs(30), &z);
+        assert_ne!(a, c);
+        assert!(!a.is_empty());
+    }
+}

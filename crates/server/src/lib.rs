@@ -15,7 +15,9 @@
 //!   tier (rendezvous-hashed replication) and load/RTT-aware replica
 //!   selection;
 //! * [`segcache`] — the byte-bounded LRU segment cache with
-//!   interval-caching admission fronting the media tier.
+//!   interval-caching admission fronting the media tier;
+//! * [`sharing`] — the stream-sharing policy (batching windows and
+//!   patching decisions for popular content).
 
 #![warn(missing_docs)]
 
@@ -26,6 +28,7 @@ pub mod flow;
 pub mod placement;
 pub mod qos;
 pub mod segcache;
+pub mod sharing;
 
 pub use accounts::{AccountsDb, Charge, SubscriptionForm, UserRecord};
 pub use admission::{
@@ -36,3 +39,4 @@ pub use flow::{compute_flow_scenario, FlowConfig, FlowPlan, FlowScenario};
 pub use placement::{PlacementMap, ReplicaSelector};
 pub use qos::{GradingAction, ManagedStream, ServerQosManager};
 pub use segcache::{SegmentCache, SegmentCacheStats, SegmentKey};
+pub use sharing::{BatchingPolicy, GroupPhase, ShareDecision, SharingMode, SharingPolicy};

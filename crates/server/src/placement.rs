@@ -245,6 +245,76 @@ mod tests {
     }
 
     #[test]
+    fn rendezvous_churn_moves_only_the_minimal_fraction() {
+        // Property over a large key population: removing one node moves
+        // EXACTLY the keys it held (nothing else reshuffles), and adding
+        // one node moves only the keys the newcomer wins — in both
+        // directions close to the expected 1/n fraction.
+        let keys: Vec<String> = (0..800).map(|i| format!("seg-{i}.mpg")).collect();
+        let base = nodes(8);
+        let before = PlacementMap::build(keys.iter().map(String::as_str), &base, 1);
+
+        // Remove the last node.
+        let fewer: Vec<NodeId> = base[..7].to_vec();
+        let after_rm = PlacementMap::build(keys.iter().map(String::as_str), &fewer, 1);
+        let dropped = base[7];
+        let mut moved_rm = 0;
+        for k in &keys {
+            if before.replicas(k) != after_rm.replicas(k) {
+                assert_eq!(before.replicas(k), [dropped], "{k} moved without cause");
+                moved_rm += 1;
+            }
+        }
+        // Expected 800/8 = 100 keys; allow generous sampling slack.
+        assert!((55..=160).contains(&moved_rm), "removal moved {moved_rm}");
+
+        // Add a fresh node.
+        let mut more = base.clone();
+        more.push(NodeId::new(900));
+        let after_add = PlacementMap::build(keys.iter().map(String::as_str), &more, 1);
+        let mut moved_add = 0;
+        for k in &keys {
+            if before.replicas(k) != after_add.replicas(k) {
+                assert_eq!(
+                    after_add.replicas(k),
+                    [NodeId::new(900)],
+                    "{k} moved to an old node"
+                );
+                moved_add += 1;
+            }
+        }
+        // Expected 800/9 ≈ 89 keys; FNV-1a is not perfectly uniform per
+        // node id, so the bound is loose — the exactness assertions above
+        // are the real property.
+        assert!(
+            (25..=180).contains(&moved_add),
+            "addition moved {moved_add}"
+        );
+
+        // With replication 2 the same holds per replica slot: churn must
+        // touch at most the slots the churned node participates in
+        // (expected 2/n of all slots).
+        let before2 = PlacementMap::build(keys.iter().map(String::as_str), &base, 2);
+        let after2 = PlacementMap::build(keys.iter().map(String::as_str), &fewer, 2);
+        let mut slot_moves = 0;
+        for k in &keys {
+            let b = before2.replicas(k);
+            let a = after2.replicas(k);
+            if b != a {
+                assert!(b.contains(&dropped), "{k} reshuffled without cause");
+                // The surviving replica keeps its slot.
+                assert!(a.iter().any(|n| b.contains(n)), "{k} lost both replicas");
+                slot_moves += 1;
+            }
+        }
+        // Expected 800 × 2/8 = 200 affected keys.
+        assert!(
+            (120..=300).contains(&slot_moves),
+            "repl-2 moved {slot_moves}"
+        );
+    }
+
+    #[test]
     fn selector_prefers_low_rtt_then_yields_under_load() {
         let a = NodeId::new(1);
         let b = NodeId::new(2);

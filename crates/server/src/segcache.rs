@@ -10,7 +10,7 @@
 
 use hermes_core::GradeLevel;
 use hermes_media::SegmentFrame;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Identity of one cached segment.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -72,6 +72,12 @@ pub struct SegmentCache {
     /// requires ≥ 2: a segment is only worth keeping while another viewer
     /// is behind (or beside) the one that fetched it.
     readers: BTreeMap<String, u32>,
+    /// Objects pinned by shared (multicast) flows: their segments are
+    /// admitted regardless of reader count and are exempt from LRU
+    /// eviction while the pin holds — a shared flow serves many viewers
+    /// from one fetch sequence, so its working set must not be displaced
+    /// by one-off unicast traffic.
+    pinned: BTreeSet<String>,
     /// Statistics.
     pub stats: SegmentCacheStats,
 }
@@ -122,9 +128,26 @@ impl SegmentCache {
         *self.readers.get(object).unwrap_or(&0)
     }
 
+    /// Pin `object`: admit its segments unconditionally and protect them
+    /// from eviction until [`SegmentCache::unpin`].
+    pub fn pin(&mut self, object: &str) {
+        self.pinned.insert(object.to_string());
+    }
+
+    /// Drop the pin on `object`; its resident segments return to normal
+    /// LRU life.
+    pub fn unpin(&mut self, object: &str) {
+        self.pinned.remove(object);
+    }
+
+    /// Is `object` currently pinned?
+    pub fn is_pinned(&self, object: &str) -> bool {
+        self.pinned.contains(object)
+    }
+
     /// Would an insert for `object` currently be admitted?
     pub fn admits(&self, object: &str) -> bool {
-        self.capacity_bytes > 0 && self.readers(object) >= 2
+        self.capacity_bytes > 0 && (self.readers(object) >= 2 || self.pinned.contains(object))
     }
 
     /// Look up a segment, refreshing its recency on a hit. Counts a hit or
@@ -164,7 +187,18 @@ impl SegmentCache {
             self.used_bytes -= old.bytes;
         }
         while self.used_bytes + bytes > self.capacity_bytes {
-            let (&stamp, _) = self.recency.iter().next().expect("bytes without entries");
+            // Oldest entry whose object is not pinned; if only pinned
+            // segments remain, there is nothing evictable — reject the
+            // insert rather than displace a shared flow's working set.
+            let Some(stamp) = self
+                .recency
+                .iter()
+                .find(|(_, k)| !self.pinned.contains(&k.object))
+                .map(|(&stamp, _)| stamp)
+            else {
+                self.stats.rejected += 1;
+                return false;
+            };
             let victim = self.recency.remove(&stamp).unwrap();
             let evicted = self.entries.remove(&victim).unwrap();
             self.used_bytes -= evicted.bytes;
@@ -267,6 +301,41 @@ mod tests {
         assert_eq!(c.stats.hits, 1);
         assert_eq!(c.stats.misses, 1);
         assert!((c.stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pinned_objects_admit_and_resist_eviction() {
+        let mut c = SegmentCache::new(1_000);
+        // No readers at all: a pinned object is still admitted.
+        c.pin("hot");
+        assert!(c.admits("hot"));
+        assert!(c.insert(key("hot", 0), frames(1, 400)));
+        // A shared-by-readers object fills the rest, then needs room: the
+        // pinned entry is skipped and the unpinned LRU goes instead.
+        c.reader_started("v");
+        c.reader_started("v");
+        assert!(c.insert(key("v", 0), frames(1, 400)));
+        assert!(c.insert(key("v", 1), frames(1, 400)));
+        assert!(c.contains(&key("hot", 0)), "pinned entry evicted");
+        assert!(!c.contains(&key("v", 0)), "unpinned LRU survived");
+        // Unpinning returns the object to normal admission + LRU life.
+        c.unpin("hot");
+        assert!(!c.admits("hot"));
+        assert!(c.insert(key("v", 2), frames(1, 400)));
+        assert!(!c.contains(&key("hot", 0)), "unpinned entry still immune");
+    }
+
+    #[test]
+    fn fully_pinned_cache_rejects_instead_of_looping() {
+        let mut c = SegmentCache::new(500);
+        c.pin("a");
+        c.pin("b");
+        assert!(c.insert(key("a", 0), frames(1, 400)));
+        // No unpinned victim exists and the newcomer does not fit: the
+        // insert must be refused, not spin or evict a pinned segment.
+        assert!(!c.insert(key("b", 0), frames(1, 400)));
+        assert!(c.contains(&key("a", 0)));
+        assert_eq!(c.stats.rejected, 1);
     }
 
     #[test]

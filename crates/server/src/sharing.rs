@@ -1,0 +1,293 @@
+//! Stream-sharing policy: batching and patching for popular content.
+//!
+//! The paper targets "a large number of users" on one service; a unicast
+//! flow per session makes server egress grow linearly with the audience.
+//! The classic VoD answer is to *share* delivery channels: requests for
+//! the same object arriving within a batching window `W` ride one shared
+//! (multicast) flow, and — in patching mode — a viewer arriving shortly
+//! *after* a shared flow started still joins it, receiving the missed
+//! prefix as a short unicast patch instead of a whole private stream
+//! (Hua/Cai/Sheu's patching; Dan/Sitaram/Shahabuddin's batching).
+//!
+//! This module is pure policy: [`BatchingPolicy`] tracks per-object
+//! popularity and answers, for each incoming request, *how* it should be
+//! served ([`ShareDecision`]). The service layer owns the actual groups,
+//! timers and patch streams.
+
+use hermes_core::MediaDuration;
+use std::collections::BTreeMap;
+
+/// Which sharing mechanisms are enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharingMode {
+    /// Every session gets a private unicast flow (the PR 2 behaviour).
+    Off,
+    /// Requests within the window batch onto one shared flow; the flow
+    /// starts when the window closes.
+    Batching,
+    /// Batching, plus late joiners patch into an already-started flow.
+    BatchingPatching,
+}
+
+/// Tunables of the sharing policy.
+#[derive(Debug, Clone)]
+pub struct SharingPolicy {
+    /// Enabled mechanisms.
+    pub mode: SharingMode,
+    /// Batching window `W`: how long the first request of a batch waits
+    /// for companions before the shared flow starts.
+    pub window: MediaDuration,
+    /// Longest missed prefix a patch may cover; a later request opens a
+    /// fresh batch instead.
+    pub max_patch: MediaDuration,
+    /// Popularity-rank knob: objects ranked strictly below this (0 = most
+    /// popular) start their shared flow immediately and rely on patching
+    /// for followers, instead of holding the first viewer for the full
+    /// window — hot content has followers soon anyway, so batch-wait
+    /// latency buys nothing.
+    pub hot_rank: usize,
+}
+
+impl Default for SharingPolicy {
+    fn default() -> Self {
+        SharingPolicy {
+            mode: SharingMode::Batching,
+            window: MediaDuration::from_millis(2_000),
+            max_patch: MediaDuration::from_millis(4_000),
+            hot_rank: 4,
+        }
+    }
+}
+
+/// Where an existing shared group for the requested object currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupPhase {
+    /// The group exists but its batching window is still open.
+    Pending,
+    /// The shared flow started `elapsed` ago.
+    Streaming {
+        /// Time since the shared flow's first frame.
+        elapsed: MediaDuration,
+    },
+}
+
+/// How one incoming request should be served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShareDecision {
+    /// A private unicast flow (sharing off).
+    Unicast,
+    /// Open a new shared group and start its flow after `wait`.
+    OpenGroup {
+        /// Batching delay before the shared flow starts (zero for hot
+        /// objects in patching mode).
+        wait: MediaDuration,
+    },
+    /// Join the object's pending group; the flow has not started yet.
+    JoinPending,
+    /// Join the streaming group and receive the missed `offset` of
+    /// presentation time as a unicast patch.
+    JoinWithPatch {
+        /// Presentation-time length of the missed prefix.
+        offset: MediaDuration,
+    },
+}
+
+/// Per-object request accounting + the decision function.
+#[derive(Debug, Clone, Default)]
+pub struct BatchingPolicy {
+    policy: SharingPolicy,
+    requests: BTreeMap<String, u64>,
+}
+
+impl BatchingPolicy {
+    /// A policy engine with the given tunables.
+    pub fn new(policy: SharingPolicy) -> Self {
+        BatchingPolicy {
+            policy,
+            requests: BTreeMap::new(),
+        }
+    }
+
+    /// The policy tunables.
+    pub fn policy(&self) -> &SharingPolicy {
+        &self.policy
+    }
+
+    /// Record one request for `object` (call before [`decide`](Self::decide)).
+    pub fn on_request(&mut self, object: &str) {
+        *self.requests.entry(object.to_string()).or_insert(0) += 1;
+    }
+
+    /// Requests recorded for `object` so far.
+    pub fn requests(&self, object: &str) -> u64 {
+        *self.requests.get(object).unwrap_or(&0)
+    }
+
+    /// Popularity rank of `object`: the number of objects with strictly
+    /// more recorded requests (0 = most popular). Unseen objects rank
+    /// last.
+    pub fn rank(&self, object: &str) -> usize {
+        let own = self.requests(object);
+        if own == 0 {
+            return self.requests.len();
+        }
+        self.requests.values().filter(|&&c| c > own).count()
+    }
+
+    /// Is `object` popular enough for immediate-start + patching?
+    fn is_hot(&self, object: &str) -> bool {
+        self.rank(object) < self.policy.hot_rank
+    }
+
+    /// The batching wait a fresh group for `object` should use.
+    fn open_wait(&self, object: &str) -> MediaDuration {
+        if self.policy.mode == SharingMode::BatchingPatching && self.is_hot(object) {
+            MediaDuration::ZERO
+        } else {
+            self.policy.window
+        }
+    }
+
+    /// Decide how to serve a request for `object`, given the phase of the
+    /// object's current shared group (if any). Pure and deterministic.
+    pub fn decide(&self, object: &str, existing: Option<GroupPhase>) -> ShareDecision {
+        if self.policy.mode == SharingMode::Off {
+            return ShareDecision::Unicast;
+        }
+        match existing {
+            None => ShareDecision::OpenGroup {
+                wait: self.open_wait(object),
+            },
+            Some(GroupPhase::Pending) => ShareDecision::JoinPending,
+            Some(GroupPhase::Streaming { elapsed }) => {
+                if self.policy.mode == SharingMode::BatchingPatching
+                    && elapsed <= self.policy.max_patch
+                {
+                    ShareDecision::JoinWithPatch { offset: elapsed }
+                } else {
+                    // Too far behind to patch (or patching disabled): the
+                    // request seeds the next batch for this object.
+                    ShareDecision::OpenGroup {
+                        wait: self.open_wait(object),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(mode: SharingMode) -> BatchingPolicy {
+        BatchingPolicy::new(SharingPolicy {
+            mode,
+            window: MediaDuration::from_millis(1_000),
+            max_patch: MediaDuration::from_millis(3_000),
+            hot_rank: 1,
+        })
+    }
+
+    #[test]
+    fn off_is_always_unicast() {
+        let mut p = policy(SharingMode::Off);
+        p.on_request("v");
+        assert_eq!(p.decide("v", None), ShareDecision::Unicast);
+        assert_eq!(
+            p.decide("v", Some(GroupPhase::Pending)),
+            ShareDecision::Unicast
+        );
+    }
+
+    #[test]
+    fn batching_opens_then_joins_within_window() {
+        let mut p = policy(SharingMode::Batching);
+        p.on_request("v");
+        assert_eq!(
+            p.decide("v", None),
+            ShareDecision::OpenGroup {
+                wait: MediaDuration::from_millis(1_000)
+            }
+        );
+        p.on_request("v");
+        assert_eq!(
+            p.decide("v", Some(GroupPhase::Pending)),
+            ShareDecision::JoinPending
+        );
+        // Batching alone cannot join a started flow: next batch.
+        assert_eq!(
+            p.decide(
+                "v",
+                Some(GroupPhase::Streaming {
+                    elapsed: MediaDuration::from_millis(10)
+                })
+            ),
+            ShareDecision::OpenGroup {
+                wait: MediaDuration::from_millis(1_000)
+            }
+        );
+    }
+
+    #[test]
+    fn patching_joins_started_flows_within_bound() {
+        let mut p = policy(SharingMode::BatchingPatching);
+        for _ in 0..3 {
+            p.on_request("v");
+        }
+        let near = GroupPhase::Streaming {
+            elapsed: MediaDuration::from_millis(2_000),
+        };
+        assert_eq!(
+            p.decide("v", Some(near)),
+            ShareDecision::JoinWithPatch {
+                offset: MediaDuration::from_millis(2_000)
+            }
+        );
+        // Beyond max_patch the request seeds a new batch instead.
+        let far = GroupPhase::Streaming {
+            elapsed: MediaDuration::from_millis(3_001),
+        };
+        assert_eq!(
+            p.decide("v", Some(far)),
+            ShareDecision::OpenGroup {
+                wait: MediaDuration::ZERO // "v" is the top-ranked object
+            }
+        );
+    }
+
+    #[test]
+    fn hot_objects_start_immediately_cold_ones_wait() {
+        let mut p = policy(SharingMode::BatchingPatching);
+        for _ in 0..5 {
+            p.on_request("hot");
+        }
+        p.on_request("cold");
+        assert_eq!(p.rank("hot"), 0);
+        assert_eq!(p.rank("cold"), 1);
+        assert_eq!(p.rank("never-seen"), 2);
+        assert_eq!(
+            p.decide("hot", None),
+            ShareDecision::OpenGroup {
+                wait: MediaDuration::ZERO
+            }
+        );
+        assert_eq!(
+            p.decide("cold", None),
+            ShareDecision::OpenGroup {
+                wait: MediaDuration::from_millis(1_000)
+            }
+        );
+    }
+
+    #[test]
+    fn rank_counts_strictly_greater() {
+        let mut p = policy(SharingMode::Batching);
+        p.on_request("a");
+        p.on_request("b");
+        // Equal counts share the best rank rather than shadow each other.
+        assert_eq!(p.rank("a"), 0);
+        assert_eq!(p.rank("b"), 0);
+        assert_eq!(p.requests("a"), 1);
+    }
+}

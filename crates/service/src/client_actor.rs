@@ -30,6 +30,10 @@ pub struct Presentation {
     pub engine: PlayoutEngine,
     /// RTP receivers per continuous component.
     pub receivers: BTreeMap<ComponentId, RtpReceiver>,
+    /// Separate receivers for unicast patch streams (stream sharing): the
+    /// patch sender uses its own RTP sequence space, so reassembly must not
+    /// mix its packets with the shared flow's.
+    pub patch_receivers: BTreeMap<ComponentId, RtpReceiver>,
     /// Per-frame reassembly counters (frames delivered per component).
     pub frames_received: BTreeMap<ComponentId, u64>,
     /// Bytes accumulated for in-flight discrete objects, per component.
@@ -178,6 +182,9 @@ pub struct ClientActor {
     pub recovering: Option<MediaTime>,
     /// Completed recoveries: (failure detected, session recovered).
     pub recoveries: Vec<(MediaTime, MediaTime)>,
+    /// The shared delivery group this session rides, with its epoch
+    /// (stream sharing; None for a private unicast flow).
+    pub shared_group: Option<(u64, u64)>,
 }
 
 impl ClientActor {
@@ -213,6 +220,7 @@ impl ClientActor {
             liveness_paused: false,
             recovering: None,
             recoveries: Vec::new(),
+            shared_group: None,
         }
     }
 
@@ -714,8 +722,11 @@ impl ClientActor {
                 if old_session != session {
                     // The server rebuilt the session from scratch: its media
                     // senders restart their RTP sequence spaces, so reset
-                    // the receivers to match.
+                    // the receivers to match. Any shared-group attachment
+                    // died with the old session; the server re-announces it.
+                    self.shared_group = None;
                     if let Some(p) = &mut self.presentation {
+                        p.patch_receivers.clear();
                         for c in &p.scenario.components {
                             if let ComponentContent::Stored { encoding, .. } = &c.content {
                                 if c.is_continuous() && p.receivers.contains_key(&c.id) {
@@ -806,11 +817,55 @@ impl ClientActor {
                 let _ = self.machine.apply(AppEvent::RequestFailed);
             }
             ServiceMsg::RtpData {
+                session,
                 component,
                 packet,
                 sent_at,
+            } => self.on_rtp(api, session, component, packet, sent_at),
+            ServiceMsg::StreamJoin {
+                group,
+                epoch,
+                offset_micros,
                 ..
-            } => self.on_rtp(api, component, packet, sent_at),
+            } => {
+                let now = api.now();
+                self.shared_group = Some((group, epoch));
+                if offset_micros >= 0 {
+                    // The shared flow already started: set up dedicated
+                    // receivers for the patch streams and ask for the
+                    // missed prefix.
+                    if let Some(p) = &mut self.presentation {
+                        for c in &p.scenario.components {
+                            if let ComponentContent::Stored { encoding, .. } = &c.content {
+                                if c.is_continuous() {
+                                    p.patch_receivers.insert(c.id, RtpReceiver::new(*encoding));
+                                }
+                            }
+                        }
+                    }
+                    if let Some((server, session)) = self.session {
+                        api.send_reliable(
+                            self.node,
+                            server,
+                            ServiceMsg::PatchRequest { session, group },
+                        );
+                    }
+                    self.note(
+                        now,
+                        format!("joined shared group {group} — patching {offset_micros}µs"),
+                    );
+                } else {
+                    self.note(now, format!("joined shared group {group} before start"));
+                }
+            }
+            ServiceMsg::GroupEpoch { group, epoch } => {
+                if let Some((g, e)) = &mut self.shared_group {
+                    if *g == group && *e != epoch {
+                        *e = epoch;
+                        self.note(api.now(), format!("shared group {group} epoch → {epoch}"));
+                    }
+                }
+            }
             ServiceMsg::DiscreteData {
                 component,
                 size,
@@ -844,13 +899,21 @@ impl ClientActor {
                 }
             }
             ServiceMsg::RtcpSenderReport {
+                session,
                 component,
                 packet: hermes_rtp::RtcpPacket::SenderReport { ntp_timestamp, .. },
-                ..
             } => {
                 let now = api.now();
+                let mine = self.session.map(|(_, s)| s) == Some(session);
                 if let Some(p) = &mut self.presentation {
-                    if let Some(rx) = p.receivers.get_mut(&component) {
+                    // Reports from our own patch sender sync the patch
+                    // receiver; shared-flow reports sync the main one.
+                    let rx = if mine && p.patch_receivers.contains_key(&component) {
+                        p.patch_receivers.get_mut(&component)
+                    } else {
+                        p.receivers.get_mut(&component)
+                    };
+                    if let Some(rx) = rx {
                         rx.on_sender_report(ntp_timestamp, now);
                     }
                 }
@@ -953,12 +1016,14 @@ impl ClientActor {
             self.history.push(document);
             self.history_cursor = self.history.len();
         }
+        self.shared_group = None;
         self.presentation = Some(Presentation {
             document,
             scenario,
             schedule,
             engine,
             receivers,
+            patch_receivers: BTreeMap::new(),
             frames_received: BTreeMap::new(),
             discrete_partial: BTreeMap::new(),
             lead: MediaDuration::from_micros(lead_micros),
@@ -980,16 +1045,27 @@ impl ClientActor {
     fn on_rtp(
         &mut self,
         api: &mut SimApi<'_, ServiceMsg>,
+        session: SessionId,
         component: ComponentId,
         packet: hermes_rtp::RtpPacket,
         sent_at: MediaTime,
     ) {
         let now = api.now();
         self.qos.stream_mut(component).on_packet(now - sent_at);
+        // A unicast patch stream is addressed to *this* session while a
+        // shared flow carries the group leader's; each sender has its own
+        // RTP sequence space, so route to the matching receiver. Delivered
+        // frames from both merge into one playout buffer by pts.
+        let mine = self.session.map(|(_, s)| s) == Some(session);
         let Some(p) = &mut self.presentation else {
             return;
         };
-        let Some(rx) = p.receivers.get_mut(&component) else {
+        let rx = if mine && p.patch_receivers.contains_key(&component) {
+            p.patch_receivers.get_mut(&component)
+        } else {
+            p.receivers.get_mut(&component)
+        };
+        let Some(rx) = rx else {
             return;
         };
         rx.on_packet(&packet, now);

@@ -28,6 +28,6 @@ pub use media_actor::{MediaActor, MediaNodeStats};
 pub use protocol::{MailMessage, SearchHit, ServiceMsg, StackPath};
 pub use server_actor::{
     MediaTier, MediaTierConfig, MediaTierStats, RemoteStream, ServerActor, ServerConfig,
-    SessionState, StreamTx,
+    SessionState, SharedGroup, SharingStats, StreamTx,
 };
 pub use world::{ServiceWorld, WorldBuilder};

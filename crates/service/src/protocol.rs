@@ -255,6 +255,42 @@ pub enum ServiceMsg {
         level: u8,
     },
 
+    // ---- stream sharing (batching / patching, TCP control path) ----
+    /// Server → client: this session's continuous media arrive over a
+    /// shared delivery group rather than a private flow. When
+    /// `offset_micros` is non-negative the shared flow already started and
+    /// the client must request the missed prefix with
+    /// [`ServiceMsg::PatchRequest`].
+    StreamJoin {
+        /// The session being attached.
+        session: SessionId,
+        /// The shared group (also the simulator multicast group id).
+        group: u64,
+        /// The group's delivery epoch (bumped on media-tier failover).
+        epoch: u64,
+        /// Approximate presentation time already missed (the server computes
+        /// the exact patch cutoffs when the patch is requested); −1 when
+        /// joining before the shared flow starts — no patch needed.
+        offset_micros: i64,
+    },
+    /// Client → server: send the missed prefix of the shared flow as a
+    /// short unicast patch (Hua/Cai/Sheu patching).
+    PatchRequest {
+        /// The session.
+        session: SessionId,
+        /// The shared group being patched into.
+        group: u64,
+    },
+    /// Server → group members (multicast): the group's delivery epoch
+    /// advanced — a media-node fault failed the whole shared flow over
+    /// under one epoch bump.
+    GroupEpoch {
+        /// The shared group.
+        group: u64,
+        /// The new epoch.
+        epoch: u64,
+    },
+
     // ---- media (RTP/UDP path) ----
     /// Media server → client: one RTP packet of a continuous stream.
     RtpData {
@@ -502,6 +538,10 @@ impl WireSize for ServiceMsg {
                 24 + TCP_IP_OVERHEAD
             }
             ServiceMsg::StreamRegraded { .. } => 25 + TCP_IP_OVERHEAD,
+            ServiceMsg::StreamJoin { .. } => 40 + TCP_IP_OVERHEAD,
+            ServiceMsg::PatchRequest { .. } => 24 + TCP_IP_OVERHEAD,
+            // Epoch announces ride the multicast datagram path: UDP+IP.
+            ServiceMsg::GroupEpoch { .. } => 16 + 28,
             ServiceMsg::RtpData { packet, .. } => packet.wire_size(),
             ServiceMsg::DiscreteData { size, .. } => 24 + *size as usize + TCP_IP_OVERHEAD,
             ServiceMsg::MediaFetchRequest { object, .. } => 48 + object.len() + TCP_IP_OVERHEAD,

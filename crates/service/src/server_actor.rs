@@ -13,9 +13,10 @@ use hermes_core::{
 use hermes_media::{segment_of_frame, CodecModel, FrameSource, SegmentFrame};
 use hermes_rtp::RtpSender;
 use hermes_server::{
-    compute_flow_scenario, AccountsDb, AdmissionController, AdmissionDecision, Charge,
-    ConnectionRequest, FlowConfig, FlowPlan, MultimediaDb, PathCondition, PlacementMap,
-    ReplicaSelector, SegmentCache, SegmentKey, ServerQosManager,
+    compute_flow_scenario, AccountsDb, AdmissionController, AdmissionDecision, BatchingPolicy,
+    Charge, ConnectionRequest, FlowConfig, FlowPlan, GroupPhase, MultimediaDb, PathCondition,
+    PlacementMap, ReplicaSelector, SegmentCache, SegmentKey, ServerQosManager, ShareDecision,
+    SharingMode, SharingPolicy,
 };
 use hermes_simnet::SimApi;
 use std::collections::{BTreeMap, VecDeque};
@@ -42,6 +43,56 @@ pub struct StreamTx {
     /// Media-tier fetch state; `None` streams read their local store
     /// directly (the pre-tier in-process path).
     pub remote: Option<RemoteStream>,
+    /// Patch streams only: stop once the source reaches this presentation
+    /// time. Strictly exclusive — the first multicast frame the joiner
+    /// receives carries exactly this pts, so the patch covers [0, cutoff)
+    /// with no duplicate and no gap.
+    pub patch_until: Option<MediaTime>,
+}
+
+/// One shared delivery group: several sessions fed by the leader's streams
+/// over one simulator multicast group (batching/patching, ISSUE 3).
+#[derive(Debug)]
+pub struct SharedGroup {
+    /// The group id (also the simulator multicast group id).
+    pub id: u64,
+    /// Delivery epoch, bumped exactly once per media-node fault affecting
+    /// the group — the whole group fails over together.
+    pub epoch: u64,
+    /// The document the group delivers.
+    pub document: DocumentId,
+    /// The session whose streams feed the group.
+    pub leader: SessionId,
+    /// All member sessions (leader included).
+    pub members: Vec<SessionId>,
+    /// When the shared flow starts (creation + batching wait); requests
+    /// before this instant join the pending batch.
+    pub starts_at: MediaTime,
+    /// Media objects pinned in the segment cache for the group's lifetime.
+    pub objects: Vec<String>,
+    /// Patch cutoffs snapshotted per joiner *at join time* (the same
+    /// instant the joiner enters the multicast group): the patch covers
+    /// `[0, cutoff)` and the first shared frame the member sees carries
+    /// exactly `cutoff` — snapshotting later (at PatchRequest arrival)
+    /// would double-deliver frames multicast in between.
+    pub patch_cutoffs: BTreeMap<SessionId, Vec<(ComponentId, MediaTime)>>,
+}
+
+/// Counters of the stream-sharing machinery on one server.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharingStats {
+    /// Shared groups opened.
+    pub groups_opened: u64,
+    /// Requests that joined a pending (not yet started) group.
+    pub joins_pending: u64,
+    /// Requests that joined a started group with a unicast patch.
+    pub joins_patched: u64,
+    /// Unicast patch streams started.
+    pub patch_streams: u64,
+    /// Frames sent over multicast groups.
+    pub mcast_frames: u64,
+    /// Group epoch bumps (media-tier failovers of a shared flow).
+    pub epoch_bumps: u64,
 }
 
 /// Media-tier fetch state of one stream: which replica it pulls from and
@@ -241,6 +292,8 @@ pub struct SessionState {
     /// Admission-time shed: streams started this many grade levels below
     /// nominal because the path lacked headroom for full quality.
     pub shed_levels: u8,
+    /// The shared delivery group this session belongs to, if any.
+    pub group: Option<u64>,
 }
 
 /// A distributed search in progress.
@@ -271,6 +324,9 @@ pub struct ServerConfig {
     /// Instead of rejecting a document request outright, retry admission
     /// with the streams shed up to this many grade levels below nominal.
     pub max_admission_shed: u8,
+    /// Stream-sharing policy (batching windows / patching). `Off` by
+    /// default: every session keeps its private flow.
+    pub sharing: SharingPolicy,
 }
 
 impl Default for ServerConfig {
@@ -283,6 +339,10 @@ impl Default for ServerConfig {
             suspend_grace: MediaDuration::from_secs(30),
             heartbeat_interval: MediaDuration::from_millis(400),
             max_admission_shed: 3,
+            sharing: SharingPolicy {
+                mode: SharingMode::Off,
+                ..SharingPolicy::default()
+            },
         }
     }
 }
@@ -325,11 +385,22 @@ pub struct ServerActor {
     ///
     /// [`ServiceWorld::distribute_media`]: crate::world::ServiceWorld::distribute_media
     pub media: Option<MediaTier>,
+    /// Per-object popularity accounting + the batching/patching decision
+    /// function (pure policy; the actor owns the groups and timers).
+    pub sharing: BatchingPolicy,
+    /// Live shared delivery groups by group id.
+    pub groups: BTreeMap<u64, SharedGroup>,
+    /// The joinable (latest) group per document.
+    open_groups: BTreeMap<DocumentId, u64>,
+    next_group: u64,
+    /// Stream-sharing counters.
+    pub sharing_stats: SharingStats,
 }
 
 impl ServerActor {
     /// Create a server actor for a node.
     pub fn new(node: NodeId, server_id: ServerId, cfg: ServerConfig) -> Self {
+        let sharing = BatchingPolicy::new(cfg.sharing.clone());
         ServerActor {
             node,
             server_id,
@@ -347,6 +418,11 @@ impl ServerActor {
             seen_reqs: BTreeMap::new(),
             rebuilt_sessions: Vec::new(),
             media: None,
+            sharing,
+            groups: BTreeMap::new(),
+            open_groups: BTreeMap::new(),
+            next_group: 1,
+            sharing_stats: SharingStats::default(),
         }
     }
 
@@ -356,6 +432,12 @@ impl ServerActor {
     /// epoch-style allocation keeps rebuilt session ids from colliding with
     /// ids still held by clients of the previous incarnation.
     pub fn on_crash(&mut self, api: &mut SimApi<'_, ServiceMsg>) {
+        // Shared groups are RAM: dissolve them (and their simulator
+        // multicast memberships) before the sessions vanish.
+        let gids: Vec<u64> = self.groups.keys().copied().collect();
+        for gid in gids {
+            self.end_group(api, gid);
+        }
         let ids: Vec<SessionId> = self.sessions.keys().copied().collect();
         for session in ids {
             if let Some(conn) = self.admission.release(session) {
@@ -413,6 +495,9 @@ impl ServerActor {
             ServiceMsg::Subscribe { session, form } => self.on_subscribe(api, session, form),
             ServiceMsg::DocRequest { session, document } => {
                 self.on_doc_request(api, session, document)
+            }
+            ServiceMsg::PatchRequest { session, group } => {
+                self.on_patch_request(api, session, group)
             }
             ServiceMsg::Feedback {
                 session,
@@ -598,6 +683,7 @@ impl ServerActor {
                 heartbeat_seq: 0,
                 last_media: now,
                 shed_levels: 0,
+                group: None,
             },
         );
         if authorized {
@@ -675,7 +761,379 @@ impl ServerActor {
         session: SessionId,
         document: DocumentId,
     ) {
-        self.deliver_document(api, session, document, MediaDuration::ZERO, true);
+        if self.sharing.policy().mode == SharingMode::Off {
+            self.deliver_document(
+                api,
+                session,
+                document,
+                MediaDuration::ZERO,
+                true,
+                MediaDuration::ZERO,
+            );
+            return;
+        }
+        if !self.sessions.contains_key(&session) {
+            return;
+        }
+        let key = document.to_string();
+        self.sharing.on_request(&key);
+        let now = api.now();
+        let phase = self
+            .open_groups
+            .get(&document)
+            .and_then(|gid| self.groups.get(gid))
+            .map(|g| {
+                if now < g.starts_at {
+                    GroupPhase::Pending
+                } else {
+                    GroupPhase::Streaming {
+                        elapsed: now - g.starts_at,
+                    }
+                }
+            });
+        match self.sharing.decide(&key, phase) {
+            ShareDecision::Unicast => self.deliver_document(
+                api,
+                session,
+                document,
+                MediaDuration::ZERO,
+                true,
+                MediaDuration::ZERO,
+            ),
+            ShareDecision::OpenGroup { wait } => {
+                self.open_shared_group(api, session, document, wait)
+            }
+            ShareDecision::JoinPending => self.join_shared_group(api, session, document, None),
+            ShareDecision::JoinWithPatch { offset } => {
+                self.join_shared_group(api, session, document, Some(offset))
+            }
+        }
+    }
+
+    /// Open a new shared group for `document`, led by `session`: deliver
+    /// the document to the leader with the batching wait folded into every
+    /// stream's start, then wrap the leader's continuous streams into a
+    /// multicast group later joiners attach to.
+    fn open_shared_group(
+        &mut self,
+        api: &mut SimApi<'_, ServiceMsg>,
+        session: SessionId,
+        document: DocumentId,
+        wait: MediaDuration,
+    ) {
+        self.leave_group(api, session);
+        let now = api.now();
+        self.deliver_document(api, session, document, MediaDuration::ZERO, true, wait);
+        // Only form a group when the leader actually got continuous
+        // streams (admission may have failed, or the lesson is discrete).
+        let Some(s) = self.sessions.get(&session) else {
+            return;
+        };
+        if s.current_doc != Some(document)
+            || !s
+                .streams
+                .values()
+                .any(|tx| tx.plan.kind.is_continuous() && !tx.done)
+        {
+            return;
+        }
+        let client = s.client;
+        let objects: Vec<String> = s
+            .streams
+            .values()
+            .filter(|tx| tx.plan.kind.is_continuous())
+            .filter_map(|tx| tx.remote.as_ref().map(|r| r.object.clone()))
+            .collect();
+        // Pin the group's working set: shared flows serve many viewers per
+        // fetched byte, so their segments must survive cache pressure.
+        if let Some(tier) = self.media.as_mut() {
+            for o in &objects {
+                tier.cache.pin(o);
+            }
+        }
+        let gid = (self.node.raw() << 20) | self.next_group;
+        self.next_group += 1;
+        self.groups.insert(
+            gid,
+            SharedGroup {
+                id: gid,
+                epoch: 0,
+                document,
+                leader: session,
+                members: vec![session],
+                starts_at: now + wait,
+                objects,
+                patch_cutoffs: BTreeMap::new(),
+            },
+        );
+        self.open_groups.insert(document, gid);
+        self.sessions.get_mut(&session).unwrap().group = Some(gid);
+        api.mcast_join(gid, client);
+        self.sharing_stats.groups_opened += 1;
+        api.send_reliable(
+            self.node,
+            client,
+            ServiceMsg::StreamJoin {
+                session,
+                group: gid,
+                epoch: 0,
+                offset_micros: -1,
+            },
+        );
+    }
+
+    /// Attach `session` to the document's joinable group. `offset` is
+    /// `Some` when the shared flow already started (the client must patch
+    /// the missed prefix). The joiner gets the scenario, its own discrete
+    /// objects and a tail-only admission reservation — the server→backbone
+    /// trunk carries one shared copy regardless of the member count.
+    fn join_shared_group(
+        &mut self,
+        api: &mut SimApi<'_, ServiceMsg>,
+        session: SessionId,
+        document: DocumentId,
+        offset: Option<MediaDuration>,
+    ) {
+        let Some(&gid) = self.open_groups.get(&document) else {
+            // Raced with the group ending: fall back to a private flow.
+            self.deliver_document(
+                api,
+                session,
+                document,
+                MediaDuration::ZERO,
+                true,
+                MediaDuration::ZERO,
+            );
+            return;
+        };
+        self.leave_group(api, session);
+        let Some(s) = self.sessions.get(&session) else {
+            return;
+        };
+        let client = s.client;
+        let class = s.class;
+        let user = s.user;
+        let doc = match self.db.document(document) {
+            Ok(d) => d.clone(),
+            Err(e) => {
+                api.send_reliable(
+                    self.node,
+                    client,
+                    ServiceMsg::DocError {
+                        session,
+                        reason: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        let flow = compute_flow_scenario(&doc.scenario, self.cfg.flow);
+        if let Some(conn) = self.admission.release(session) {
+            api.net_mut().release(conn);
+        }
+        if let Err(reason) = self.admit_with_shedding(api, session, class, client, &flow, true) {
+            api.send_reliable(self.node, client, ServiceMsg::DocError { session, reason });
+            return;
+        }
+        if let Some(u) = user {
+            self.accounts.record_retrieval(u, document);
+            self.accounts.charge(u, Charge::Retrieval(document));
+        }
+        self.release_session_readers(session);
+        let s = self.sessions.get_mut(&session).unwrap();
+        s.streams.clear();
+        s.qos = ServerQosManager::new(self.cfg.grading_order, self.cfg.hysteresis);
+        s.current_doc = Some(document);
+        s.paused = false;
+        s.shed_levels = 0;
+        api.send_reliable(
+            self.node,
+            client,
+            ServiceMsg::ScenarioResponse {
+                session,
+                document,
+                markup: doc.markup.clone(),
+                lead_micros: flow.lead.as_micros(),
+            },
+        );
+        // Discrete objects (images, text) stay per-session: they are tiny
+        // next to the continuous media and every member needs its own copy.
+        // Their schedule is shifted onto the *group's* timeline — a pending
+        // member receiving its images early would satisfy the client's
+        // prefill check and start playout before the shared flow exists.
+        let remaining_wait = self
+            .groups
+            .get(&gid)
+            .map(|g| (g.starts_at - api.now()).max(MediaDuration::ZERO))
+            .unwrap_or(MediaDuration::ZERO);
+        let plans: Vec<FlowPlan> = flow
+            .plans
+            .iter()
+            .filter(|p| !p.kind.is_continuous())
+            .cloned()
+            .collect();
+        for plan in &plans {
+            let delay =
+                (plan.send_start - MediaTime::ZERO).max(MediaDuration::ZERO) + remaining_wait;
+            self.schedule_discrete(api, session, plan, delay);
+        }
+        // Snapshot the leader's pacer positions now: this event also enters
+        // the joiner into the multicast group, so every frame multicast
+        // after this instant reaches it — the patch must cover exactly the
+        // pts before these positions, no more.
+        let cutoffs: Option<Vec<(ComponentId, MediaTime)>> = if offset.is_some() {
+            let leader = self.groups.get(&gid).map(|g| g.leader);
+            leader.and_then(|l| self.sessions.get(&l)).map(|ls| {
+                ls.streams
+                    .iter()
+                    .filter(|(_, tx)| tx.plan.kind.is_continuous())
+                    .map(|(c, tx)| (*c, tx.source.next_pts()))
+                    .collect()
+            })
+        } else {
+            None
+        };
+        let Some(g) = self.groups.get_mut(&gid) else {
+            return;
+        };
+        g.members.push(session);
+        if let Some(c) = cutoffs {
+            g.patch_cutoffs.insert(session, c);
+        }
+        let epoch = g.epoch;
+        self.sessions.get_mut(&session).unwrap().group = Some(gid);
+        api.mcast_join(gid, client);
+        let offset_micros = match offset {
+            // The shared flow already runs: the client must ask for the
+            // missed prefix (any non-negative offset, including zero —
+            // frames may have left in this very instant).
+            Some(o) => o.as_micros().max(0),
+            None => {
+                self.sharing_stats.joins_pending += 1;
+                -1
+            }
+        };
+        if offset.is_some() {
+            self.sharing_stats.joins_patched += 1;
+        }
+        api.send_reliable(
+            self.node,
+            client,
+            ServiceMsg::StreamJoin {
+                session,
+                group: gid,
+                epoch,
+                offset_micros,
+            },
+        );
+    }
+
+    /// The joiner asked for the missed prefix of its shared flow: start a
+    /// unicast patch stream per continuous component, cut off *strictly
+    /// before* the leader's current pacer position — the next multicast
+    /// frame carries exactly that pts, so patch + shared flow tile the
+    /// stream with no duplicate and no gap.
+    fn on_patch_request(&mut self, api: &mut SimApi<'_, ServiceMsg>, session: SessionId, gid: u64) {
+        if self.sessions.get(&session).and_then(|s| s.group) != Some(gid) {
+            return;
+        }
+        let Some(g) = self.groups.get_mut(&gid) else {
+            return;
+        };
+        let document = g.document;
+        let Some(cutoffs) = g.patch_cutoffs.remove(&session) else {
+            return; // no snapshot (or already patched): nothing missed
+        };
+        let doc = match self.db.document(document) {
+            Ok(d) => d.clone(),
+            Err(_) => return,
+        };
+        let flow = compute_flow_scenario(&doc.scenario, self.cfg.flow);
+        for plan in &flow.plans {
+            if !plan.kind.is_continuous() {
+                continue;
+            }
+            let Some(&(_, cutoff)) = cutoffs.iter().find(|(c, _)| *c == plan.component) else {
+                continue;
+            };
+            if cutoff <= MediaTime::ZERO {
+                continue; // nothing missed yet
+            }
+            let source =
+                self.db
+                    .store(plan.kind)
+                    .open(&plan.source.object, plan.component, plan.duration);
+            let Some(source) = source else {
+                continue;
+            };
+            let remote = self.make_remote(&plan.source.object, plan.kind, 0);
+            let ssrc = ((session.raw() as u32) << 16) ^ plan.component.raw() as u32;
+            let s = self.sessions.get_mut(&session).unwrap();
+            s.streams.insert(
+                plan.component,
+                StreamTx {
+                    plan: plan.clone(),
+                    source,
+                    sender: RtpSender::new(ssrc, plan.encoding),
+                    done: false,
+                    stopped: false,
+                    frames_sent: 0,
+                    bytes_sent: 0,
+                    remote,
+                    patch_until: Some(cutoff),
+                },
+            );
+            self.attach_remote(api, session, plan.component);
+            api.set_timer(
+                self.node,
+                MediaDuration::ZERO,
+                timers::TK_STREAM_START,
+                timers::pack(session, plan.component),
+            );
+            self.sharing_stats.patch_streams += 1;
+        }
+    }
+
+    /// Detach `session` from its shared group, if any. The leader leaving
+    /// dissolves the whole group (members keep whatever they buffered).
+    fn leave_group(&mut self, api: &mut SimApi<'_, ServiceMsg>, session: SessionId) {
+        let Some(s) = self.sessions.get_mut(&session) else {
+            return;
+        };
+        let Some(gid) = s.group.take() else {
+            return;
+        };
+        let client = s.client;
+        let Some(g) = self.groups.get_mut(&gid) else {
+            return;
+        };
+        g.members.retain(|&m| m != session);
+        api.mcast_leave(gid, client);
+        if g.leader == session || g.members.is_empty() {
+            self.end_group(api, gid);
+        }
+    }
+
+    /// Dissolve a shared group: release memberships, unpin its cached
+    /// segments, and stop advertising it as joinable.
+    fn end_group(&mut self, api: &mut SimApi<'_, ServiceMsg>, gid: u64) {
+        let Some(g) = self.groups.remove(&gid) else {
+            return;
+        };
+        if self.open_groups.get(&g.document) == Some(&gid) {
+            self.open_groups.remove(&g.document);
+        }
+        for m in g.members {
+            if let Some(s) = self.sessions.get_mut(&m) {
+                s.group = None;
+                api.mcast_leave(gid, s.client);
+            }
+        }
+        if let Some(tier) = self.media.as_mut() {
+            for o in &g.objects {
+                tier.cache.unpin(o);
+            }
+        }
     }
 
     /// Re-establish a session a client believes lost. If the session is
@@ -733,6 +1191,7 @@ impl ServerActor {
                 heartbeat_seq: 0,
                 last_media: now,
                 shed_levels: 0,
+                group: None,
             },
         );
         self.rebuilt_sessions.push((session, new_session));
@@ -749,13 +1208,24 @@ impl ServerActor {
             // The client already holds the scenario; just restart delivery
             // past the reported playout position.
             let resume_from = MediaDuration::from_micros(position_micros.max(0));
-            self.deliver_document(api, new_session, doc, resume_from, false);
+            self.deliver_document(
+                api,
+                new_session,
+                doc,
+                resume_from,
+                false,
+                MediaDuration::ZERO,
+            );
         }
     }
 
     /// Evaluate admission for a flow, shedding grade levels instead of
     /// rejecting while the configuration allows: returns the shed applied,
     /// or an error string when even the deepest shed cannot be admitted.
+    ///
+    /// `shared_trunk`: the session rides a shared delivery group, so the
+    /// first path hop (server → backbone) already carries the group's one
+    /// copy — reserve only the tail links toward this client.
     fn admit_with_shedding(
         &mut self,
         api: &mut SimApi<'_, ServiceMsg>,
@@ -763,6 +1233,7 @@ impl ServerActor {
         class: PricingClass,
         client: NodeId,
         flow: &hermes_server::FlowScenario,
+        shared_trunk: bool,
     ) -> Result<u8, String> {
         let path = self.path_condition(api, client);
         let mut last_reason = String::new();
@@ -791,7 +1262,16 @@ impl ServerActor {
                 AdmissionDecision::Reject { reason } => last_reason = reason,
                 AdmissionDecision::Admit { reserved_bps } => {
                     let conn = conn.expect("admit without connection id");
-                    if api.net_mut().reserve(conn, self.node, client, reserved_bps) {
+                    let reserved = if shared_trunk {
+                        let mut links = api.net().path_links(self.node, client).unwrap_or_default();
+                        if !links.is_empty() {
+                            links.remove(0); // the trunk carries one shared copy
+                        }
+                        api.net_mut().reserve_links(conn, links, reserved_bps)
+                    } else {
+                        api.net_mut().reserve(conn, self.node, client, reserved_bps)
+                    };
+                    if reserved {
                         return Ok(shed);
                     }
                     self.admission.release(session);
@@ -806,6 +1286,8 @@ impl ServerActor {
     /// optionally the scenario itself, then media activation. `resume_from`
     /// shifts all send starts earlier and fast-forwards the frame sources —
     /// recovery resumes mid-presentation instead of replaying from zero.
+    /// `extra_delay` shifts every send start later (the batching wait of a
+    /// shared group's leader).
     fn deliver_document(
         &mut self,
         api: &mut SimApi<'_, ServiceMsg>,
@@ -813,7 +1295,9 @@ impl ServerActor {
         document: DocumentId,
         resume_from: MediaDuration,
         send_scenario: bool,
+        extra_delay: MediaDuration,
     ) {
+        self.leave_group(api, session);
         let Some(s) = self.sessions.get(&session) else {
             return;
         };
@@ -846,7 +1330,7 @@ impl ServerActor {
         if let Some(conn) = self.admission.release(session) {
             api.net_mut().release(conn);
         }
-        let shed = match self.admit_with_shedding(api, session, class, client, &flow) {
+        let shed = match self.admit_with_shedding(api, session, class, client, &flow, false) {
             Ok(shed) => shed,
             Err(reason) => {
                 api.send_reliable(self.node, client, ServiceMsg::DocError { session, reason });
@@ -899,7 +1383,7 @@ impl ServerActor {
                 MediaDuration::ZERO
             } else {
                 (plan.send_start - resume_point).max(MediaDuration::ZERO)
-            };
+            } + extra_delay;
             if plan.kind.is_continuous() {
                 let model = CodecModel::for_encoding(plan.encoding);
                 let start_level = GradeLevel(shed).min(model.max_level());
@@ -957,6 +1441,7 @@ impl ServerActor {
                         frames_sent: 0,
                         bytes_sent: 0,
                         remote,
+                        patch_until: None,
                     },
                 );
                 self.attach_remote(api, session, plan.component);
@@ -971,52 +1456,69 @@ impl ServerActor {
                     // Discrete object already shown before the outage.
                     continue;
                 }
-                // Discrete media: a single object over the reliable path at
-                // its send start. With a media tier the size comes from the
-                // fetched segment; locally it derives from the store.
-                let size = match self.db.store(plan.kind).open(
-                    &plan.source.object,
-                    plan.component,
-                    plan.duration,
-                ) {
-                    Some(mut src) => src.next_frame().map(|f| f.size).unwrap_or(0),
-                    None => {
-                        CodecModel::for_encoding(plan.encoding)
-                            .level(GradeLevel::NOMINAL)
-                            .mean_frame_bytes
-                    }
-                };
-                let remote = self.make_remote(&plan.source.object, plan.kind, 0);
-                let component = plan.component;
-                api.set_timer(
-                    self.node,
-                    delay,
-                    timers::TK_DISCRETE,
-                    timers::pack(session, component),
-                );
-                // Stash the size in the session for the timer to pick up.
-                let s = self.sessions.get_mut(&session).unwrap();
-                s.streams.insert(
-                    component,
-                    StreamTx {
-                        plan: plan.clone(),
-                        source: FrameSource::new(
-                            component,
-                            plan.encoding,
-                            size as u64,
-                            plan.duration.max(MediaDuration::from_millis(1)),
-                        ),
-                        sender: RtpSender::new(0, plan.encoding),
-                        done: false,
-                        stopped: false,
-                        frames_sent: 0,
-                        bytes_sent: 0,
-                        remote,
-                    },
-                );
-                self.attach_remote(api, session, component);
+                self.schedule_discrete(api, session, plan, delay);
             }
         }
+    }
+
+    /// Schedule delivery of one discrete media object (image / text file)
+    /// to a session at `delay` from now: install its placeholder stream and
+    /// arm the [`timers::TK_DISCRETE`] timer.
+    fn schedule_discrete(
+        &mut self,
+        api: &mut SimApi<'_, ServiceMsg>,
+        session: SessionId,
+        plan: &FlowPlan,
+        delay: MediaDuration,
+    ) {
+        // Discrete media: a single object over the reliable path at
+        // its send start. With a media tier the size comes from the
+        // fetched segment; locally it derives from the store.
+        let size =
+            match self
+                .db
+                .store(plan.kind)
+                .open(&plan.source.object, plan.component, plan.duration)
+            {
+                Some(mut src) => src.next_frame().map(|f| f.size).unwrap_or(0),
+                None => {
+                    CodecModel::for_encoding(plan.encoding)
+                        .level(GradeLevel::NOMINAL)
+                        .mean_frame_bytes
+                }
+            };
+        let remote = self.make_remote(&plan.source.object, plan.kind, 0);
+        let component = plan.component;
+        api.set_timer(
+            self.node,
+            delay,
+            timers::TK_DISCRETE,
+            timers::pack(session, component),
+        );
+        // Stash the size in the session for the timer to pick up.
+        let Some(s) = self.sessions.get_mut(&session) else {
+            return;
+        };
+        s.streams.insert(
+            component,
+            StreamTx {
+                plan: plan.clone(),
+                source: FrameSource::new(
+                    component,
+                    plan.encoding,
+                    size as u64,
+                    plan.duration.max(MediaDuration::from_millis(1)),
+                ),
+                sender: RtpSender::new(0, plan.encoding),
+                done: false,
+                stopped: false,
+                frames_sent: 0,
+                bytes_sent: 0,
+                remote,
+                patch_until: None,
+            },
+        );
+        self.attach_remote(api, session, component);
     }
 
     /// Media-tier fetch state for a stream over `object`, starting at
@@ -1353,7 +1855,7 @@ impl ServerActor {
                 affected.push((*sid, *cid));
             }
         }
-        for (sid, cid) in affected {
+        for &(sid, cid) in &affected {
             if self.reselect_replica(api, sid, cid) {
                 if let Some(tier) = self.media.as_mut() {
                     tier.stats.failovers += 1;
@@ -1361,6 +1863,21 @@ impl ServerActor {
                 self.pump_remote(api, sid, cid);
             }
             // No live replica: parked until a restart event re-points us.
+        }
+        // Shared groups fail over as one unit: exactly ONE epoch bump per
+        // group per media-node event, announced to the whole group — the
+        // leader's per-stream failover above already re-pointed the fetch
+        // window, so members see an uninterrupted frame sequence.
+        let mut bumped: Vec<(u64, u64)> = Vec::new();
+        for (gid, g) in self.groups.iter_mut() {
+            if affected.iter().any(|(sid, _)| *sid == g.leader) {
+                g.epoch += 1;
+                bumped.push((*gid, g.epoch));
+            }
+        }
+        for (gid, epoch) in bumped {
+            self.sharing_stats.epoch_bumps += 1;
+            api.send_mcast(self.node, gid, ServiceMsg::GroupEpoch { group: gid, epoch });
         }
     }
 
@@ -1514,6 +2031,14 @@ impl ServerActor {
             if tx.done || tx.stopped {
                 return;
             }
+            if let Some(limit) = tx.patch_until {
+                // Patch complete: the stream's next pts is carried by the
+                // shared flow. Strictly exclusive — equal pts stops here.
+                if tx.source.next_pts() >= limit {
+                    tx.done = true;
+                    return;
+                }
+            }
         }
         // Media tier: top up the fetch window, then gate this frame on
         // fetched content — the pacer only advances once the frame's bytes
@@ -1554,9 +2079,17 @@ impl ServerActor {
             return;
         };
         let client = s.client;
+        // A group leader's streams feed the whole group: one multicast send
+        // replaces the per-member unicasts (single copy per egress link).
+        let shared = s
+            .group
+            .and_then(|gid| self.groups.get(&gid))
+            .filter(|g| g.leader == session)
+            .map(|g| g.id);
         let Some(tx) = s.streams.get_mut(&component) else {
             return;
         };
+        let mut stream_finished = false;
         match tx.source.next_frame() {
             Some(frame) => {
                 if let Some(spec) = fetched {
@@ -1568,29 +2101,40 @@ impl ServerActor {
                 tx.bytes_sent += frame.size as u64;
                 let now = api.now();
                 for packet in tx.sender.packetize(&frame) {
-                    api.send(
-                        self.node,
-                        client,
-                        ServiceMsg::RtpData {
-                            session,
-                            component,
-                            packet,
-                            sent_at: now,
-                        },
-                    );
+                    let msg = ServiceMsg::RtpData {
+                        session,
+                        component,
+                        packet,
+                        sent_at: now,
+                    };
+                    match shared {
+                        Some(gid) => {
+                            api.send_mcast(self.node, gid, msg);
+                        }
+                        None => {
+                            api.send(self.node, client, msg);
+                        }
+                    }
+                }
+                if shared.is_some() {
+                    self.sharing_stats.mcast_frames += 1;
                 }
                 // Periodic RTCP sender report (RFC 3550): every 64 frames.
                 if tx.frames_sent % 64 == 1 {
                     let sr = tx.sender.sender_report(now);
-                    api.send(
-                        self.node,
-                        client,
-                        ServiceMsg::RtcpSenderReport {
-                            session,
-                            component,
-                            packet: sr,
-                        },
-                    );
+                    let msg = ServiceMsg::RtcpSenderReport {
+                        session,
+                        component,
+                        packet: sr,
+                    };
+                    match shared {
+                        Some(gid) => {
+                            api.send_mcast(self.node, gid, msg);
+                        }
+                        None => {
+                            api.send(self.node, client, msg);
+                        }
+                    }
                 }
                 let period = tx.source.model().level(tx.source.level()).frame_period();
                 api.set_timer(
@@ -1603,6 +2147,26 @@ impl ServerActor {
             }
             None => {
                 tx.done = true;
+                stream_finished = true;
+            }
+        }
+        if stream_finished {
+            if let Some(gid) = shared {
+                // The group ends when the leader's last continuous stream
+                // finishes; members keep draining their playout buffers.
+                let all_done = self
+                    .sessions
+                    .get(&session)
+                    .map(|s| {
+                        s.streams
+                            .values()
+                            .filter(|t| t.plan.kind.is_continuous())
+                            .all(|t| t.done || t.stopped)
+                    })
+                    .unwrap_or(true);
+                if all_done {
+                    self.end_group(api, gid);
+                }
             }
         }
     }
@@ -1693,6 +2257,7 @@ impl ServerActor {
     }
 
     fn teardown_session(&mut self, api: &mut SimApi<'_, ServiceMsg>, session: SessionId) {
+        self.leave_group(api, session);
         self.release_session_readers(session);
         if let Some(conn) = self.admission.release(session) {
             api.net_mut().release(conn);

@@ -1,0 +1,255 @@
+#![allow(clippy::field_reassign_with_default)]
+//! Stream-sharing tests: batching windows merge concurrent requests onto
+//! one multicast flow, patching tiles a late joiner's missed prefix
+//! exactly, and media-tier faults fail a whole group over with a single
+//! epoch bump — all deterministic under fixed seeds.
+
+use hermes_core::{DocumentId, MediaDuration, MediaTime, NodeId, ServerId};
+use hermes_server::{SharingMode, SharingPolicy};
+use hermes_service::{
+    install_course, install_figure2, ClientConfig, LessonShape, ServerConfig, ServiceMsg,
+    ServiceWorld, WorldBuilder,
+};
+use hermes_simnet::{FaultKind, LinkSpec, Sim, SimRng};
+
+const DOC: u64 = 1;
+const CLIP_DOC: u64 = 10;
+
+/// One server (sharing per `mode`), three clients, three media nodes,
+/// clean 10 Mbps LAN links. Fig. 2 is installed and distributed over the
+/// media tier.
+fn sharing_world(
+    seed: u64,
+    mode: SharingMode,
+) -> (Sim<ServiceMsg, ServiceWorld>, NodeId, Vec<NodeId>) {
+    let mut b = WorldBuilder::new(seed);
+    let mut cfg = ServerConfig::default();
+    cfg.sharing = SharingPolicy {
+        mode,
+        window: MediaDuration::from_millis(2_000),
+        max_patch: MediaDuration::from_secs(4),
+        hot_rank: 4,
+    };
+    // A fat server trunk: the test's claim is about egress *bytes*, not
+    // congestion, and a starved trunk queues control messages behind
+    // media-tier segment fetches (skewing patch-window timing).
+    let srv = b.add_server(ServerId::new(0), LinkSpec::lan(100_000_000), cfg);
+    let clients: Vec<NodeId> = (0..3)
+        .map(|_| b.add_client(LinkSpec::lan(10_000_000), ClientConfig::default()))
+        .collect();
+    for _ in 0..3 {
+        b.add_media_node(LinkSpec::san(100_000_000));
+    }
+    let mut sim = b.build(seed);
+    let mut rng = SimRng::seed_from_u64(99);
+    install_figure2(
+        sim.app_mut().server_mut(srv),
+        DocumentId::new(DOC),
+        &mut rng,
+    );
+    // A lesson whose narrated clip starts at scenario time zero: its
+    // continuous frames flow from the moment the shared flow opens, so a
+    // late joiner genuinely misses a prefix (Fig. 2's media start ~10 s in,
+    // which a 4 s patch bound never reaches).
+    install_course(
+        sim.app_mut().server_mut(srv),
+        "Patching",
+        &["sharing"],
+        CLIP_DOC,
+        1,
+        LessonShape {
+            images: 0,
+            image_secs: 0,
+            narrated_clip_secs: Some(16),
+            closing_audio_secs: None,
+        },
+        &mut rng,
+    );
+    sim.app_mut().distribute_media();
+    (sim, srv, clients)
+}
+
+/// Connect each client `gap` apart, all requesting the same document.
+fn staggered_connects(
+    sim: &mut Sim<ServiceMsg, ServiceWorld>,
+    srv: NodeId,
+    clients: &[NodeId],
+    doc: u64,
+    gap: MediaDuration,
+) {
+    for (i, &cli) in clients.iter().enumerate() {
+        sim.run_until(MediaTime::ZERO + gap * i as i64);
+        sim.with_api(|w, api| {
+            w.client_mut(cli)
+                .connect(api, srv, Some(DocumentId::new(doc)));
+        });
+    }
+}
+
+/// Per-client reassembled frame counts by component, plus playout glitches.
+fn client_frames(
+    sim: &Sim<ServiceMsg, ServiceWorld>,
+    clients: &[NodeId],
+) -> Vec<std::collections::BTreeMap<hermes_core::ComponentId, u64>> {
+    clients
+        .iter()
+        .map(|&cli| {
+            let c = sim.app().client(cli);
+            assert!(c.errors.is_empty(), "client {cli} errors: {:?}", c.errors);
+            assert_eq!(c.completed.len(), 1, "client {cli} did not complete");
+            let p = c.presentation.as_ref().unwrap();
+            assert_eq!(p.engine.total_stats().glitches, 0, "client {cli} glitched");
+            p.frames_received.clone()
+        })
+        .collect()
+}
+
+/// Bytes the server pushed onto its access trunk (server → backbone).
+fn trunk_bytes(sim: &Sim<ServiceMsg, ServiceWorld>, srv: NodeId) -> u64 {
+    sim.net()
+        .link(srv, NodeId::new(0))
+        .expect("server trunk")
+        .stats
+        .bytes_sent
+}
+
+/// Three requests inside one batching window ride a single multicast flow:
+/// one group, two pending joins, and a trunk that carries roughly one copy
+/// of the continuous media instead of three.
+#[test]
+fn batching_merges_concurrent_requests_and_cuts_trunk_egress() {
+    let run = |mode: SharingMode| {
+        let (mut sim, srv, clients) = sharing_world(31, mode);
+        staggered_connects(
+            &mut sim,
+            srv,
+            &clients,
+            DOC,
+            MediaDuration::from_millis(300),
+        );
+        sim.run_until(MediaTime::from_secs(45));
+        let frames = client_frames(&sim, &clients);
+        // Every member reassembled the identical stream.
+        assert_eq!(frames[0], frames[1]);
+        assert_eq!(frames[0], frames[2]);
+        let server = sim.app().server(srv);
+        (trunk_bytes(&sim, srv), server.sharing_stats)
+    };
+
+    let (off_bytes, off_stats) = run(SharingMode::Off);
+    assert_eq!(off_stats.groups_opened, 0);
+    assert_eq!(off_stats.mcast_frames, 0);
+
+    let (shared_bytes, stats) = run(SharingMode::Batching);
+    assert_eq!(stats.groups_opened, 1, "expected one batch: {stats:?}");
+    assert_eq!(stats.joins_pending, 2, "both followers join pending");
+    assert_eq!(stats.joins_patched, 0);
+    assert!(stats.mcast_frames > 100, "shared flow never streamed");
+    // Three unicast copies collapsed to one shared copy on the trunk.
+    assert!(
+        shared_bytes * 2 < off_bytes,
+        "sharing saved too little: {shared_bytes} vs {off_bytes}"
+    );
+}
+
+/// A viewer arriving after the shared flow started patches the missed
+/// prefix over unicast while buffering the multicast tail: the patch and
+/// the shared flow tile the stream exactly — the joiner ends with the same
+/// per-component frame counts as the leader, no duplicate and no hole.
+#[test]
+fn late_joiner_patch_tiles_exactly_with_shared_flow() {
+    let (mut sim, srv, clients) = sharing_world(37, SharingMode::BatchingPatching);
+    // Leader at 0 s ("hot" content starts immediately, clip at scenario
+    // zero); the late joiners arrive 1.5 s apart, inside the 4 s patch
+    // bound but well after frames started flowing.
+    staggered_connects(
+        &mut sim,
+        srv,
+        &clients,
+        CLIP_DOC,
+        MediaDuration::from_millis(1_500),
+    );
+    sim.run_until(MediaTime::from_secs(45));
+
+    let frames = client_frames(&sim, &clients);
+    assert_eq!(frames[0], frames[1], "joiner 1 diverged from leader");
+    assert_eq!(frames[0], frames[2], "joiner 2 diverged from leader");
+    let server = sim.app().server(srv);
+    let stats = server.sharing_stats;
+    assert_eq!(stats.groups_opened, 1, "{stats:?}");
+    assert_eq!(stats.joins_patched, 2, "{stats:?}");
+    assert!(
+        stats.patch_streams >= 2,
+        "patch streams never opened: {stats:?}"
+    );
+    assert!(stats.mcast_frames > 100);
+    // Both joiners ride the same group as the leader.
+    let leader_group = sim.app().client(clients[0]).shared_group;
+    assert!(leader_group.is_some());
+    assert_eq!(sim.app().client(clients[1]).shared_group, leader_group);
+    assert_eq!(sim.app().client(clients[2]).shared_group, leader_group);
+}
+
+/// A media node dies while feeding an active shared group: the tier fails
+/// over, the group's epoch bumps exactly once, and every member finishes
+/// with frame counts identical to a fault-free run.
+#[test]
+fn media_node_crash_recovers_whole_group_with_one_epoch_bump() {
+    let run = |crash: bool| {
+        let (mut sim, srv, clients) = sharing_world(41, SharingMode::Batching);
+        staggered_connects(
+            &mut sim,
+            srv,
+            &clients,
+            CLIP_DOC,
+            MediaDuration::from_millis(300),
+        );
+        // The batching window closes ~2 s in; by 6 s the shared flow is
+        // live. Kill the media node actually feeding it.
+        sim.run_until(MediaTime::from_secs(6));
+        if crash {
+            assert!(
+                !sim.app().server(srv).groups.is_empty(),
+                "no active shared group at 6 s"
+            );
+            let victim = sim
+                .app()
+                .server(srv)
+                .sessions
+                .values()
+                .flat_map(|s| s.streams.values())
+                .filter(|tx| !tx.done && !tx.stopped && tx.plan.kind.is_continuous())
+                .filter_map(|tx| tx.remote.as_ref().map(|r| r.replica))
+                .next()
+                .expect("no active tier-backed stream at 6 s");
+            sim.inject_fault(
+                MediaTime::from_secs(6),
+                FaultKind::NodeCrash { node: victim },
+            );
+        }
+        sim.run_until(MediaTime::from_secs(45));
+        let frames = client_frames(&sim, &clients);
+        let server = sim.app().server(srv);
+        let tier = server.media.as_ref().expect("media tier not deployed");
+        (frames, server.sharing_stats, tier.stats.failovers)
+    };
+
+    let (base_frames, base_stats, base_failovers) = run(false);
+    assert_eq!(base_failovers, 0);
+    assert_eq!(base_stats.epoch_bumps, 0);
+    assert!(
+        base_frames[0].values().sum::<u64>() > 100,
+        "continuous media never streamed: {base_frames:?}"
+    );
+
+    let (frames, stats, failovers) = run(true);
+    assert!(failovers >= 1, "media-node crash triggered no failover");
+    assert_eq!(
+        stats.epoch_bumps, 1,
+        "the group fails over as one unit: {stats:?}"
+    );
+    assert_eq!(
+        frames, base_frames,
+        "failover duplicated or dropped frames for some member"
+    );
+}

@@ -25,7 +25,7 @@ use crate::rng::SimRng;
 use crate::topology::{LinkOutcome, Network};
 use hermes_core::{MediaDuration, MediaTime, NodeId};
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
 
 /// Anything sent through the network must report its wire size.
 pub trait WireSize {
@@ -89,6 +89,19 @@ enum Pending<M> {
         /// Incarnation of the node when the timer was set.
         inc: u64,
     },
+    /// A multicast copy sitting at `here`, bound for the subtree of group
+    /// members in `targets`. At each hop the copy fans out with ONE link
+    /// transmission per distinct egress link, so a shared flow costs a
+    /// single copy on every trunk it crosses regardless of receiver count.
+    McastHop {
+        group: u64,
+        here: NodeId,
+        targets: Vec<NodeId>,
+        from: NodeId,
+        msg: M,
+        /// Incarnation of the sending node when the send started.
+        src_inc: u64,
+    },
     /// An injected fault to apply.
     Fault(FaultKind),
 }
@@ -134,6 +147,13 @@ pub struct SimStats {
     /// Deliveries, timers and retransmissions discarded because the node
     /// involved was crashed (or had restarted into a new incarnation).
     pub fault_drops: u64,
+    /// Multicast sends initiated with [`SimApi::send_mcast`].
+    pub mcast_sends: u64,
+    /// Copies of multicast messages placed on links (one per distinct
+    /// egress link per hop — the wire cost of the shared flows).
+    pub mcast_link_copies: u64,
+    /// Multicast copies that reached a group member's node.
+    pub mcast_deliveries: u64,
 }
 
 /// Engine configuration.
@@ -178,6 +198,8 @@ struct Core<M> {
     dead: HashSet<NodeId>,
     /// Process incarnation per node (bumped on restart). Absent = 0.
     incarnation: HashMap<NodeId, u64>,
+    /// Multicast group membership, managed by the sim: group id → members.
+    mcast_groups: BTreeMap<u64, BTreeSet<NodeId>>,
 }
 
 impl<M: WireSize + Clone> Core<M> {
@@ -343,6 +365,111 @@ impl<M: WireSize + Clone> Core<M> {
         true
     }
 
+    /// Start a multicast send: one logical message toward every current
+    /// member of `group` except the sender. Returns the number of member
+    /// nodes targeted (0 when the sender is dead or the group is empty).
+    fn start_send_mcast(&mut self, from: NodeId, group: u64, msg: M) -> usize {
+        if self.dead.contains(&from) {
+            return 0;
+        }
+        let Some(members) = self.mcast_groups.get(&group) else {
+            return 0;
+        };
+        let targets: Vec<NodeId> = members.iter().copied().filter(|&t| t != from).collect();
+        if targets.is_empty() {
+            return 0;
+        }
+        self.stats.mcast_sends += 1;
+        let now = self.now;
+        let src_inc = self.inc(from);
+        let count = targets.len();
+        self.schedule(
+            now,
+            Pending::McastHop {
+                group,
+                here: from,
+                targets,
+                from,
+                msg,
+                src_inc,
+            },
+        );
+        count
+    }
+
+    /// Forward one multicast copy from `here` toward its target subtree:
+    /// deliver locally to members at this node, then group the remaining
+    /// targets by routing next hop and place ONE copy on each distinct
+    /// egress link. A copy lost on a link (loss model, queue overflow or a
+    /// fault-injected partition) takes its whole subtree with it — datagram
+    /// semantics, like the unicast RTP path. Membership is re-read at every
+    /// hop, so a member leaving mid-flight stops receiving immediately.
+    fn process_mcast_hop(
+        &mut self,
+        group: u64,
+        here: NodeId,
+        targets: Vec<NodeId>,
+        from: NodeId,
+        msg: M,
+        src_inc: u64,
+    ) {
+        if self.dead.contains(&from) || src_inc != self.inc(from) {
+            self.stats.fault_drops += 1;
+            return;
+        }
+        let members = self.mcast_groups.get(&group).cloned().unwrap_or_default();
+        let now = self.now;
+        let mut by_next: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        for t in targets {
+            if !members.contains(&t) {
+                continue; // left the group while the copy was in flight
+            }
+            if t == here {
+                let inc = self.inc(t);
+                self.stats.mcast_deliveries += 1;
+                self.schedule(
+                    now,
+                    Pending::Deliver {
+                        node: t,
+                        from,
+                        msg: msg.clone(),
+                        inc,
+                    },
+                );
+            } else if let Some(nh) = self.net.next_hop(here, t) {
+                by_next.entry(nh).or_default().push(t);
+            } else {
+                self.stats.datagrams_dropped += 1; // unroutable member
+            }
+        }
+        let size = msg.wire_size();
+        for (nh, subtree) in by_next {
+            let outcome = match self.net.link_mut(here, nh) {
+                Some(link) => link.transmit(now, size),
+                None => LinkOutcome::QueueFull,
+            };
+            self.stats.mcast_link_copies += 1;
+            match outcome {
+                LinkOutcome::Delivered { arrival } => {
+                    self.schedule(
+                        arrival,
+                        Pending::McastHop {
+                            group,
+                            here: nh,
+                            targets: subtree,
+                            from,
+                            msg: msg.clone(),
+                            src_inc,
+                        },
+                    );
+                }
+                LinkOutcome::Lost { .. } | LinkOutcome::QueueFull => {
+                    self.stats.datagrams_dropped += subtree.len() as u64;
+                }
+            }
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn process_hop(
         &mut self,
@@ -493,6 +620,39 @@ impl<'a, M: WireSize + Clone> SimApi<'a, M> {
     pub fn send_reliable(&mut self, from: NodeId, to: NodeId, msg: M) -> bool {
         self.core.start_send(from, to, msg, Transport::Reliable, 0)
     }
+    /// Send a datagram to every member of a multicast group (except the
+    /// sender). The copy fans out along the routing tree with one link
+    /// transmission per distinct egress link, so N co-located receivers
+    /// cost one copy on the shared trunk. Returns the member count
+    /// targeted; 0 when the group is empty or the sender is down.
+    pub fn send_mcast(&mut self, from: NodeId, group: u64, msg: M) -> usize {
+        self.core.start_send_mcast(from, group, msg)
+    }
+    /// Add `node` to multicast group `group` (idempotent).
+    pub fn mcast_join(&mut self, group: u64, node: NodeId) {
+        self.core
+            .mcast_groups
+            .entry(group)
+            .or_default()
+            .insert(node);
+    }
+    /// Remove `node` from `group`; an emptied group is dissolved.
+    pub fn mcast_leave(&mut self, group: u64, node: NodeId) {
+        if let Some(members) = self.core.mcast_groups.get_mut(&group) {
+            members.remove(&node);
+            if members.is_empty() {
+                self.core.mcast_groups.remove(&group);
+            }
+        }
+    }
+    /// Current members of `group` (empty when the group does not exist).
+    pub fn mcast_members(&self, group: u64) -> Vec<NodeId> {
+        self.core
+            .mcast_groups
+            .get(&group)
+            .map(|m| m.iter().copied().collect())
+            .unwrap_or_default()
+    }
     /// Arrange for `on_timer(node, key, payload)` after `delay`. Timers die
     /// with the incarnation that set them: if the node crashes (or crashes
     /// and restarts) before the timer fires, it is silently discarded.
@@ -557,6 +717,7 @@ impl<M: WireSize + Clone, A: App<M>> Sim<M, A> {
                 reliable_dead: HashMap::new(),
                 dead: HashSet::new(),
                 incarnation: HashMap::new(),
+                mcast_groups: BTreeMap::new(),
             },
         }
     }
@@ -652,6 +813,17 @@ impl<M: WireSize + Clone, A: App<M>> Sim<M, A> {
                     core: &mut self.core,
                 };
                 self.app.on_timer(&mut api, node, key, payload);
+            }
+            Pending::McastHop {
+                group,
+                here,
+                targets,
+                from,
+                msg,
+                src_inc,
+            } => {
+                self.core
+                    .process_mcast_hop(group, here, targets, from, msg, src_inc);
             }
             Pending::Fault(kind) => {
                 self.core.apply_fault(kind);
@@ -1051,6 +1223,161 @@ mod tests {
         sim.run(100_000);
         assert_eq!(sim.app().got.len(), 1, "gate wedged on abandoned seq");
         assert_eq!(sim.app().got[0].3, "after-heal");
+    }
+
+    /// Star topology for multicast tests: server `n(1)` — backbone `n(0)` —
+    /// clients `n(10)..n(10+clients)`, with `loss` on the client access
+    /// links only (the shared server trunk stays clean).
+    fn star_net(clients: u64, loss: LossModel, seed: u64) -> Network {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut net = Network::new();
+        net.add_node(n(0), "backbone");
+        net.add_node(n(1), "server");
+        net.add_duplex(n(1), n(0), LinkSpec::lan(8_000_000), &mut rng);
+        for i in 0..clients {
+            let c = n(10 + i);
+            net.add_node(c, format!("client-{i}"));
+            let mut spec = LinkSpec::lan(8_000_000);
+            spec.loss = loss.clone();
+            net.add_duplex(n(0), c, spec, &mut rng);
+        }
+        net.compute_routes();
+        net
+    }
+
+    #[test]
+    fn mcast_single_copy_per_egress_link() {
+        let mut sim = Sim::new(star_net(4, LossModel::None, 21), Recorder::default(), 21);
+        sim.with_api(|_, api| {
+            for i in 0..4 {
+                api.mcast_join(7, n(10 + i));
+            }
+            for i in 0..10 {
+                assert_eq!(api.send_mcast(n(1), 7, Msg(format!("m{i}"), 800)), 4);
+            }
+        });
+        sim.run(100_000);
+        // Every member received every message...
+        assert_eq!(sim.app().got.len(), 40);
+        for i in 0..4 {
+            let cnt = sim.app().got.iter().filter(|g| g.1 == n(10 + i)).count();
+            assert_eq!(cnt, 10, "client {i}");
+        }
+        // ...but the shared server trunk carried ONE copy per send, not
+        // one per receiver: fan-out happens at the backbone.
+        let trunk = sim.net().link(n(1), n(0)).unwrap().stats;
+        assert_eq!(trunk.packets_sent, 10);
+        assert_eq!(trunk.bytes_sent, 10 * 800);
+        for i in 0..4 {
+            let access = sim.net().link(n(0), n(10 + i)).unwrap().stats;
+            assert_eq!(access.packets_sent, 10);
+        }
+        let s = sim.stats();
+        assert_eq!(s.mcast_sends, 10);
+        assert_eq!(s.mcast_link_copies, 10 * 5); // 1 trunk + 4 access per send
+        assert_eq!(s.mcast_deliveries, 40);
+    }
+
+    #[test]
+    fn mcast_per_receiver_loss_is_independent() {
+        let mut sim = Sim::new(
+            star_net(3, LossModel::Bernoulli { p: 0.4 }, 22),
+            Recorder::default(),
+            22,
+        );
+        sim.with_api(|_, api| {
+            for i in 0..3 {
+                api.mcast_join(7, n(10 + i));
+            }
+            for i in 0..200 {
+                api.send_mcast(n(1), 7, Msg(format!("m{i}"), 100));
+            }
+        });
+        sim.run(1_000_000);
+        // Each access link draws from its own RNG stream: losses hit
+        // members independently, and every copy is accounted for.
+        let mut counts = Vec::new();
+        for i in 0..3 {
+            let cnt = sim.app().got.iter().filter(|g| g.1 == n(10 + i)).count();
+            assert!((70..170).contains(&cnt), "client {i} got {cnt}");
+            counts.push(cnt);
+        }
+        counts.dedup();
+        assert!(counts.len() > 1, "identical loss across receivers");
+        let s = sim.stats();
+        assert_eq!(
+            s.mcast_deliveries + s.datagrams_dropped,
+            600,
+            "every copy delivered or counted lost"
+        );
+    }
+
+    #[test]
+    fn mcast_membership_churn_in_flight() {
+        let mut sim = Sim::new(star_net(2, LossModel::None, 23), Recorder::default(), 23);
+        sim.with_api(|_, api| {
+            api.mcast_join(7, n(10));
+            api.mcast_join(7, n(11));
+            // The copy is scheduled, then a member leaves before it moves:
+            // membership is re-read at each hop, so the leaver never
+            // receives a copy already in flight.
+            assert_eq!(api.send_mcast(n(1), 7, Msg("while-member".into(), 400)), 2);
+            api.mcast_leave(7, n(11));
+        });
+        sim.run(10_000);
+        assert_eq!(sim.app().got.len(), 1);
+        assert_eq!(sim.app().got[0].1, n(10));
+        // Rejoining resumes reception of later sends.
+        sim.with_api(|_, api| {
+            api.mcast_join(7, n(11));
+            assert_eq!(api.send_mcast(n(1), 7, Msg("rejoined".into(), 400)), 2);
+        });
+        sim.run(10_000);
+        assert_eq!(sim.app().got.len(), 3);
+        assert!(sim
+            .app()
+            .got
+            .iter()
+            .any(|g| g.1 == n(11) && g.3 == "rejoined"));
+    }
+
+    #[test]
+    fn mcast_partitioned_member_stops_then_resumes() {
+        let mut sim = Sim::new(star_net(2, LossModel::None, 24), Recorder::default(), 24);
+        sim.install_faults(&FaultPlan::new().partition(
+            n(0),
+            n(11),
+            MediaTime::from_millis(10),
+            MediaTime::from_millis(100),
+        ));
+        sim.with_api(|_, api| {
+            api.mcast_join(7, n(10));
+            api.mcast_join(7, n(11));
+            api.send_mcast(n(1), 7, Msg("before".into(), 300));
+        });
+        sim.run_until(MediaTime::from_millis(10));
+        // During the partition only the reachable member receives; the
+        // partitioned subtree's copy dies at the cut.
+        sim.with_api(|_, api| {
+            api.send_mcast(n(1), 7, Msg("during".into(), 300));
+        });
+        sim.run_until(MediaTime::from_millis(120));
+        // After the link heals, mcast reception resumes without rejoining.
+        sim.with_api(|_, api| {
+            api.send_mcast(n(1), 7, Msg("after".into(), 300));
+        });
+        sim.run_until(MediaTime::from_millis(200));
+        let at = |node: NodeId| -> Vec<&str> {
+            sim.app()
+                .got
+                .iter()
+                .filter(|g| g.1 == node)
+                .map(|g| g.3.as_str())
+                .collect()
+        };
+        assert_eq!(at(n(10)), vec!["before", "during", "after"]);
+        assert_eq!(at(n(11)), vec!["before", "after"]);
+        assert!(sim.net().total_stats().packets_dropped_down > 0);
     }
 
     #[test]

@@ -321,6 +321,12 @@ impl Network {
         }
     }
 
+    /// The routing next hop from `src` toward `dst`, if reachable.
+    /// `compute_routes` must have been called after the last topology change.
+    pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
+        self.routes.get(&(src, dst)).copied()
+    }
+
     /// The node-path from `src` to `dst` (inclusive of both), if reachable.
     /// `compute_routes` must have been called after the last topology change.
     pub fn path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
@@ -381,6 +387,31 @@ impl Network {
         for k in &links {
             if self.links[k].reserved_bps + bps > self.links[k].spec.bandwidth_bps {
                 return false;
+            }
+        }
+        for k in &links {
+            self.links.get_mut(k).unwrap().reserved_bps += bps;
+        }
+        self.reservations.insert(conn, (links, bps));
+        true
+    }
+
+    /// Reserve `bps` on an explicit set of links (a partial path). Used when
+    /// a flow shares its upstream with an existing reservation — e.g. a
+    /// receiver joining a shared multicast flow only needs headroom on the
+    /// links not already carrying the group — so only the private tail is
+    /// checked and charged. Returns false (and reserves nothing) if any
+    /// named link is missing or lacks headroom.
+    pub fn reserve_links(
+        &mut self,
+        conn: ConnectionId,
+        links: Vec<(NodeId, NodeId)>,
+        bps: u64,
+    ) -> bool {
+        for k in &links {
+            match self.links.get(k) {
+                Some(l) if l.reserved_bps + bps <= l.spec.bandwidth_bps => {}
+                _ => return false,
             }
         }
         for k in &links {
@@ -574,6 +605,33 @@ mod tests {
         }
         assert_eq!(l.stats.packets_lost, lost);
         assert!(lost > 60 && lost < 140, "lost {lost}");
+    }
+
+    #[test]
+    fn next_hop_matches_path() {
+        let net = line_network();
+        assert_eq!(net.next_hop(n(0), n(2)), Some(n(1)));
+        assert_eq!(net.next_hop(n(1), n(2)), Some(n(2)));
+        assert_eq!(net.next_hop(n(0), n(7)), None);
+    }
+
+    #[test]
+    fn reserve_links_charges_only_the_tail() {
+        let mut net = line_network();
+        let shared = ConnectionId::new(1);
+        let tail = ConnectionId::new(2);
+        // A shared flow already holds the 0→1 trunk.
+        assert!(net.reserve(shared, n(0), n(1), 8_000_000));
+        // A full-path reservation for a joiner would fail at the trunk...
+        assert!(!net.reserve(tail, n(0), n(2), 4_000_000));
+        // ...but charging only its private tail link succeeds.
+        assert!(net.reserve_links(tail, vec![(n(1), n(2))], 4_000_000));
+        assert_eq!(net.link(n(0), n(1)).unwrap().reserved_bps, 8_000_000);
+        assert_eq!(net.link(n(1), n(2)).unwrap().reserved_bps, 4_000_000);
+        net.release(tail);
+        assert_eq!(net.link(n(1), n(2)).unwrap().reserved_bps, 0);
+        // Unknown links reserve nothing.
+        assert!(!net.reserve_links(tail, vec![(n(0), n(9))], 1));
     }
 
     #[test]

@@ -10,7 +10,7 @@ OUT = "/tmp/expout"
 EXPERIMENTS = ["exp_tab1","exp_fig1","exp_fig2","exp_fig3","exp_fig4","exp_fig5",
                "exp_skew","exp_window","exp_grade","exp_admit","exp_search",
                "exp_migrate","exp_ablate","exp_concur","exp_faults",
-               "exp_placement"]
+               "exp_placement","exp_scale"]
 
 def run_all():
     os.makedirs(OUT, exist_ok=True)
@@ -342,6 +342,35 @@ network fetch volume, while the no-cache cell pays full price for every
 segment. Crashing the serving replica triggers failover for each of its
 live streams (stateless segment addressing resumes from the exact next
 frame) and the presentations still complete with identical frame counts.
+
+---
+
+## EXP-SCALE — stream sharing at scale (`exp_scale`)
+
+**Paper gap:** the service targets "a large number of users" over broadband,
+but one-stream-per-viewer egress grows linearly with the audience; the paper
+never quantifies when that breaks or what sharing buys back.
+**Measured:** an open-loop Poisson arrival process over a Zipf-distributed
+16-title catalog drives hundreds of concurrent sessions against one server
+(2 Gbps trunk, 800-client pool, 4 media nodes), sweeping arrival rate ×
+catalog skew × sharing policy (off / batching / batching+patching).
+
+```""")
+    A(grab("exp_scale", start="== EXP-SCALE"))
+    A("""```
+
+**Finding.** At 12 arrivals/s every policy serves everyone, and sharing
+already cuts server egress ~3× on the skewed catalog — but batching alone
+buys that with a ~1.3 s startup penalty (the window wait), which patching
+eliminates. At 50 arrivals/s the unshared service collapses: sessions
+glitch so badly they never finish (hundreds of gaps per thousand frames,
+half the arrivals unserved because stalled sessions pin the client pool),
+while both sharing modes serve all 2 292 arrivals with **zero** playout
+gaps. On the Zipf(1.2) catalog batching+patching cuts egress 56% versus
+off (3134 → 1375 MB) with sub-second startup — egress flattens as skew
+grows because more arrivals land on hot titles whose groups already
+stream. Multicast frame copies ride one trunk serialization each
+(`mcast` column), which is exactly the saving.
 
 ---
 
