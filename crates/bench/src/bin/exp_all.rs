@@ -20,6 +20,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_ablate",
     "exp_concur",
     "exp_faults",
+    "exp_overload",
     "exp_placement",
     "exp_scale",
 ];

@@ -1,0 +1,450 @@
+#![allow(clippy::field_reassign_with_default)]
+//! EXP-OVERLOAD — claim: the overload-resilience stack (per-replica circuit
+//! breaking, hedged fetches and the mid-session degradation ladder) lets the
+//! service ride out a ≥3.5× flash-crowd spike with bounded playout gaps,
+//! while the all-off baseline measurably collapses under the same arrivals.
+//!
+//! An open-loop Poisson stream of session requests over a Zipf catalog
+//! drives one server backed by a deliberately tight two-node media tier
+//! (small service queues, slow disks, no segment cache, no stream sharing —
+//! every session pays full tier cost). Partway through, the arrival rate
+//! multiplies by 3.5×, either permanently (`step`) or for a window
+//! (`spike`). The sweep crosses arrival pattern × overload mode
+//! (off / hedge / ladder / full) and reports goodput, the playout-gap rate
+//! and its across-session P99, shed and hedged fetch counts, breaker trips,
+//! ladder activity and the P99 tier fetch latency.
+//!
+//! `--smoke` runs a reduced grid (spike only, off vs full, two seeds) for
+//! the CI determinism gate; `--seed`/`--out` as in every experiment binary.
+
+use hermes_bench::{Arrival, ExpOpts, Table, ZipfCatalog};
+use hermes_core::{MediaDuration, MediaTime, NodeId, ServerId};
+use hermes_server::{SharingMode, SharingPolicy};
+use hermes_service::{
+    install_course, ClientConfig, LessonShape, MediaNodeConfig, MediaTierConfig, ServerConfig,
+    ServiceMsg, ServiceWorld, WorldBuilder,
+};
+use hermes_simnet::{LinkSpec, Sim, SimRng};
+
+/// Which overload-control features are armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Everything off: the PR-1 service with a queueing media tier.
+    Off,
+    /// Circuit breaker + hedged fetches.
+    Hedge,
+    /// Circuit breaker + degradation ladder.
+    Ladder,
+    /// The full stack.
+    Full,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Off => "off",
+            Mode::Hedge => "hedge",
+            Mode::Ladder => "ladder",
+            Mode::Full => "full",
+        }
+    }
+
+    fn tier(self) -> MediaTierConfig {
+        let (breaker, hedging, ladder) = match self {
+            Mode::Off => (false, false, false),
+            Mode::Hedge => (true, true, false),
+            Mode::Ladder => (true, false, true),
+            Mode::Full => (true, true, true),
+        };
+        // The breaker's latency trip-wire sits above the full-queue delay
+        // (queue 24 × ~70 ms/segment ≈ 1.7 s): under a symmetric flash crowd
+        // every replica queues alike, and tripping on shared queueing would
+        // only strangle throughput. The error-rate wire still catches shed
+        // storms and sick nodes.
+        let mut breaker_cfg = hermes_server::BreakerConfig::default();
+        breaker_cfg.latency_threshold = MediaDuration::from_millis(3_000);
+        MediaTierConfig {
+            replication: 2,
+            cache_bytes: 0, // every fetch reaches the tier: overload is real
+            breaker,
+            breaker_cfg,
+            hedging,
+            ladder,
+            // One victim session per tick: 20/s walks a flash crowd down
+            // the ladder fast enough to shed demand inside the spike.
+            ladder_period: MediaDuration::from_millis(50),
+            ..Default::default()
+        }
+    }
+}
+
+/// Arrival-rate shape of the flash crowd.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pattern {
+    /// Rate steps up at `spike_at` and stays up.
+    Step,
+    /// Rate spikes for `spike_len`, then returns to base.
+    Spike,
+}
+
+impl Pattern {
+    fn label(self) -> &'static str {
+        match self {
+            Pattern::Step => "step",
+            Pattern::Spike => "spike",
+        }
+    }
+}
+
+/// Sweep dimensions (full vs `--smoke`).
+struct Grid {
+    patterns: Vec<Pattern>,
+    modes: Vec<Mode>,
+    seeds: Vec<u64>,
+    base_rate: f64,
+    spike_mult: f64,
+    spike_at: MediaTime,
+    spike_len: MediaDuration,
+    arrival_horizon: MediaTime,
+    pool: usize,
+    catalog: usize,
+    clip_secs: i64,
+}
+
+impl Grid {
+    fn new(opts: &ExpOpts) -> Self {
+        if opts.smoke {
+            Grid {
+                patterns: vec![Pattern::Spike],
+                modes: vec![Mode::Off, Mode::Full],
+                seeds: opts.seeds(&[1, 2]),
+                base_rate: 2.0,
+                spike_mult: 3.5,
+                spike_at: MediaTime::from_secs(6),
+                spike_len: MediaDuration::from_secs(8),
+                arrival_horizon: MediaTime::from_secs(20),
+                pool: 60,
+                catalog: 6,
+                clip_secs: 8,
+            }
+        } else {
+            Grid {
+                patterns: vec![Pattern::Step, Pattern::Spike],
+                modes: vec![Mode::Off, Mode::Hedge, Mode::Ladder, Mode::Full],
+                seeds: opts.seeds(&[1]),
+                base_rate: 2.5,
+                spike_mult: 3.5,
+                spike_at: MediaTime::from_secs(8),
+                spike_len: MediaDuration::from_secs(10),
+                arrival_horizon: MediaTime::from_secs(26),
+                pool: 90,
+                catalog: 8,
+                clip_secs: 8,
+            }
+        }
+    }
+}
+
+/// Piecewise-Poisson flash crowd: base rate outside the crowd window,
+/// `base × spike_mult` inside it. Same seed ⇒ same schedule for every
+/// overload mode, so mode columns are directly comparable.
+fn flash_crowd(seed: u64, pattern: Pattern, g: &Grid) -> Vec<Arrival> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let catalog = ZipfCatalog::new(g.catalog, 1.1);
+    let mut out = Vec::new();
+    let mut t = MediaTime::ZERO;
+    loop {
+        let hot = t >= g.spike_at && (pattern == Pattern::Step || t < g.spike_at + g.spike_len);
+        let rate = if hot {
+            g.base_rate * g.spike_mult
+        } else {
+            g.base_rate
+        };
+        let gap_secs = rng.exponential(1.0 / rate);
+        t += MediaDuration::from_micros((gap_secs * 1e6) as i64);
+        if t >= g.arrival_horizon {
+            return out;
+        }
+        out.push(Arrival {
+            at: t,
+            rank: catalog.sample(&mut rng),
+        });
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Point {
+    arrivals: usize,
+    completed: usize,
+    rejected: usize,
+    unserved: usize,
+    gap_per_kframe: f64,
+    gap_p99: f64,
+    shed: u64,
+    hedges: u64,
+    hedge_wins: u64,
+    trips: u64,
+    degrades: u64,
+    restores: u64,
+    fetch_p99_ms: f64,
+}
+
+fn percentile(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[((samples.len() - 1) as f64 * q).round() as usize]
+}
+
+fn run_point(seed: u64, pattern: Pattern, mode: Mode, g: &Grid) -> Point {
+    let mut b = WorldBuilder::new(seed);
+    let mut cfg = ServerConfig::default();
+    // No stream sharing: every session pays full media-tier cost, so the
+    // flash crowd hits the tier head-on (sharing is EXP-SCALE's subject).
+    cfg.sharing = SharingPolicy {
+        mode: SharingMode::Off,
+        ..Default::default()
+    };
+    let srv = b.add_server(ServerId::new(0), LinkSpec::lan(2_000_000_000), cfg);
+    let nodes: Vec<NodeId> = (0..g.pool)
+        .map(|_| b.add_client(LinkSpec::lan(10_000_000), ClientConfig::default()))
+        .collect();
+    let media: Vec<NodeId> = (0..2)
+        .map(|_| b.add_media_node(LinkSpec::san(1_000_000_000)))
+        .collect();
+    b.media_config(mode.tier());
+    let mut sim: Sim<ServiceMsg, ServiceWorld> = b.build(seed);
+    // Tight tier: short queues and slow disks so the spike actually
+    // overloads serving capacity rather than the network.
+    for &m in &media {
+        sim.app_mut().media_mut(m).configure(MediaNodeConfig {
+            queue_capacity: 24,
+            fixed_service: MediaDuration::from_millis(1),
+            per_mbyte: MediaDuration::from_millis(300),
+        });
+    }
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xF1A5);
+    let lessons = install_course(
+        sim.app_mut().server_mut(srv),
+        "Crowd",
+        &["overload"],
+        1,
+        g.catalog,
+        LessonShape {
+            images: 0,
+            image_secs: 0,
+            narrated_clip_secs: Some(g.clip_secs),
+            closing_audio_secs: None,
+        },
+        &mut rng,
+    );
+    sim.app_mut().distribute_media();
+
+    let arrivals = flash_crowd(seed, pattern, g);
+
+    // Open-loop driver over a fixed client pool (same scheme as EXP-SCALE):
+    // each arrival claims an idle client and reconnects it to the requested
+    // lesson; a grown completed/errors count frees the slot.
+    let mut slots: Vec<Option<(usize, usize)>> = vec![None; g.pool];
+    let mut p = Point {
+        arrivals: arrivals.len(),
+        ..Point::default()
+    };
+    let mut glitches = 0u64;
+    let mut frames = 0u64;
+    let mut session_gaps: Vec<f64> = Vec::new();
+    let mut harvest = |c: &hermes_service::ClientActor| {
+        if let Some(pres) = &c.presentation {
+            let s = pres.engine.total_stats();
+            glitches += s.glitches;
+            frames += s.frames_played;
+            if s.frames_played > 0 {
+                session_gaps.push(s.glitches as f64 * 1_000.0 / s.frames_played as f64);
+            }
+        }
+    };
+    for a in &arrivals {
+        sim.run_until(a.at);
+        let mut free = None;
+        for i in 0..g.pool {
+            match slots[i] {
+                None => {
+                    if free.is_none() {
+                        free = Some(i);
+                    }
+                }
+                Some((c0, e0)) => {
+                    let c = sim.app().client(nodes[i]);
+                    if c.completed.len() > c0 || c.errors.len() > e0 {
+                        harvest(c);
+                        slots[i] = None;
+                        if free.is_none() {
+                            free = Some(i);
+                        }
+                    }
+                }
+            }
+        }
+        let Some(i) = free else {
+            p.unserved += 1;
+            continue;
+        };
+        let node = nodes[i];
+        let doc = lessons[a.rank];
+        let c = sim.app().client(node);
+        slots[i] = Some((c.completed.len(), c.errors.len()));
+        sim.with_api(|w, api| {
+            let cl = w.client_mut(node);
+            cl.disconnect(api);
+            cl.connect(api, srv, Some(doc));
+        });
+    }
+    // Drain: let every in-flight session play out.
+    let end = g.arrival_horizon + MediaDuration::from_secs(g.clip_secs + 15);
+    sim.run_until(end);
+    for (i, s) in slots.iter().enumerate() {
+        if s.is_some() {
+            harvest(sim.app().client(nodes[i]));
+        }
+    }
+
+    for &node in &nodes {
+        let c = sim.app().client(node);
+        p.completed += c.completed.len();
+        p.rejected += c.errors.len();
+    }
+    if frames > 0 {
+        p.gap_per_kframe = glitches as f64 * 1_000.0 / frames as f64;
+    }
+    p.gap_p99 = percentile(&mut session_gaps, 0.99);
+    let server = sim.app().server(srv);
+    let tier = server.media.as_ref().expect("media tier not deployed");
+    p.shed = tier.stats.busy;
+    p.hedges = tier.stats.hedges;
+    p.hedge_wins = tier.stats.hedge_wins;
+    p.trips = tier.stats.breaker_trips;
+    p.degrades = tier.stats.ladder_degrades;
+    p.restores = tier.stats.ladder_restores;
+    p.fetch_p99_ms = tier.fetch_latency.quantile(0.99).as_micros() as f64 / 1_000.0;
+    sim.app().audit_media_parts(&sim.stats());
+    p
+}
+
+fn main() {
+    let opts = ExpOpts::parse();
+    let g = Grid::new(&opts);
+    let mut out = opts.sink();
+    out.line(&format!(
+        "workload: open-loop Poisson arrivals over a Zipf(1.1) catalog of {} clip\n\
+         lessons ({} s each), client pool {}, two-node media tier (queue 24,\n\
+         1 ms + 300 ms/MiB service, no cache, no sharing); base rate {}/s with a\n\
+         {:.1}× flash crowd from {} s ({}); arrivals for {} s plus drain",
+        g.catalog,
+        g.clip_secs,
+        g.pool,
+        g.base_rate,
+        g.spike_mult,
+        (g.spike_at - MediaTime::ZERO).as_micros() / 1_000_000,
+        if g.patterns.contains(&Pattern::Step) {
+            "step and spike"
+        } else {
+            "spike only"
+        },
+        (g.arrival_horizon - MediaTime::ZERO).as_micros() / 1_000_000,
+    ));
+    let mut t = Table::new(vec![
+        "pattern",
+        "mode",
+        "seed",
+        "arrivals",
+        "done",
+        "rej",
+        "unserved",
+        "gaps/kframe",
+        "gap p99",
+        "shed",
+        "hedges(won)",
+        "trips",
+        "ladder -/+",
+        "fetch p99 ms",
+    ]);
+    // (pattern, mode) → worst-seed gap stats for the claim checks.
+    let mut worst_gap = std::collections::BTreeMap::new();
+    let mut worst_p99 = std::collections::BTreeMap::new();
+    let mut armed = std::collections::BTreeMap::new();
+    for &pattern in &g.patterns {
+        for &mode in &g.modes {
+            for &seed in &g.seeds {
+                let p = run_point(seed, pattern, mode, &g);
+                t.row(vec![
+                    pattern.label().to_string(),
+                    mode.label().to_string(),
+                    seed.to_string(),
+                    p.arrivals.to_string(),
+                    p.completed.to_string(),
+                    p.rejected.to_string(),
+                    p.unserved.to_string(),
+                    format!("{:.2}", p.gap_per_kframe),
+                    format!("{:.2}", p.gap_p99),
+                    p.shed.to_string(),
+                    format!("{}({})", p.hedges, p.hedge_wins),
+                    p.trips.to_string(),
+                    format!("{}/{}", p.degrades, p.restores),
+                    format!("{:.1}", p.fetch_p99_ms),
+                ]);
+                let key = (pattern.label(), mode.label());
+                let wg: &mut f64 = worst_gap.entry(key).or_insert(0f64);
+                *wg = wg.max(p.gap_per_kframe);
+                let wp: &mut f64 = worst_p99.entry(key).or_insert(0f64);
+                *wp = wp.max(p.gap_p99);
+                let a: &mut u64 = armed.entry(key).or_insert(0);
+                *a += p.trips + p.hedges + p.degrades;
+            }
+        }
+    }
+    out.table(
+        "EXP-OVERLOAD — flash-crowd resilience vs arrival pattern × overload mode",
+        &t,
+    );
+    out.line(
+        "expected shape: with everything off the spike saturates the tier's serving\n\
+         queues — fetch latency and sheds climb and playout gaps spread across most\n\
+         sessions; hedging reroutes the latency tail to the sibling replica, the\n\
+         ladder sheds decode work mid-session, and the full stack keeps the gap\n\
+         P99 bounded through the same crowd.",
+    );
+
+    // The headline claim per pattern: the full stack keeps worst-seed gap
+    // rates strictly below the all-off baseline through a ≥3.5× crowd, and
+    // its control loops actually engaged (trips + hedges + ladder steps).
+    for &pattern in &g.patterns {
+        let k = |m: &'static str| (pattern.label(), m);
+        let off = worst_gap[&k("off")];
+        let full = worst_gap[&k("full")];
+        out.line(&format!(
+            "claim @ {} ×{:.1}: gaps/kframe {:.2} → {:.2}, session gap P99 {:.2} → {:.2}",
+            pattern.label(),
+            g.spike_mult,
+            off,
+            full,
+            worst_p99[&k("off")],
+            worst_p99[&k("full")],
+        ));
+        assert!(
+            armed[&k("full")] > 0,
+            "overload stack never engaged under the {} crowd",
+            pattern.label()
+        );
+        assert!(
+            full < off,
+            "full stack did not beat the baseline gap rate: {full} vs {off}"
+        );
+        if !opts.smoke {
+            assert!(
+                off >= 2.0 * full.max(0.5),
+                "baseline did not measurably collapse: off {off} vs full {full}"
+            );
+        }
+    }
+}

@@ -17,7 +17,10 @@
 //! * [`segcache`] — the byte-bounded LRU segment cache with
 //!   interval-caching admission fronting the media tier;
 //! * [`sharing`] — the stream-sharing policy (batching windows and
-//!   patching decisions for popular content).
+//!   patching decisions for popular content);
+//! * [`overload`] — overload-control primitives: circuit-breaking replica
+//!   health, bounded deadline-shedding request queues, CoDel-style pressure
+//!   detection, and retry budgets.
 
 #![warn(missing_docs)]
 
@@ -25,6 +28,7 @@ pub mod accounts;
 pub mod admission;
 pub mod database;
 pub mod flow;
+pub mod overload;
 pub mod placement;
 pub mod qos;
 pub mod segcache;
@@ -36,6 +40,10 @@ pub use admission::{
 };
 pub use database::{MultimediaDb, StoredDocument, TopicEntry};
 pub use flow::{compute_flow_scenario, FlowConfig, FlowPlan, FlowScenario};
+pub use overload::{
+    BreakerConfig, BreakerState, NodeHealth, OverloadQueue, OverloadQueueStats, PressureDetector,
+    QueuedRequest, ReplicaHealthMap, RetryBudget,
+};
 pub use placement::{PlacementMap, ReplicaSelector};
 pub use qos::{GradingAction, ManagedStream, ServerQosManager};
 pub use segcache::{SegmentCache, SegmentCacheStats, SegmentKey};

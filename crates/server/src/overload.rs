@@ -1,0 +1,842 @@
+//! Overload-control primitives: replica health tracking with a three-state
+//! circuit breaker, a bounded request queue with deadline-aware shedding, a
+//! CoDel-style queue-delay pressure detector, and a retry-budget token
+//! bucket.
+//!
+//! The paper's QoS managers recover from *congestion*; these mechanisms make
+//! the service survive *overload* — the "heavy traffic from millions of
+//! users" regime of §1. The design follows the tail-tolerance playbook:
+//! eject slow-but-alive replicas instead of waiting on them (circuit
+//! breaking), bound queues and shed work whose playout deadline is already
+//! unmeetable (staged admission), and meter retries so recovery traffic can
+//! never exceed useful throughput (retry budgets). Everything here is pure
+//! policy — no simulator types — so the service layer wires it to timers
+//! and the bench can sweep it.
+
+use hermes_core::{MediaDuration, MediaTime, NodeId, PricingClass};
+use std::collections::{BTreeMap, VecDeque};
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------------
+
+/// Configuration of the per-replica health tracker / circuit breaker.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// EWMA weight given to each new sample (0 < alpha ≤ 1).
+    pub alpha: f64,
+    /// Trip when the EWMA fetch latency exceeds this.
+    pub latency_threshold: MediaDuration,
+    /// Trip when the EWMA error rate exceeds this fraction.
+    pub error_threshold: f64,
+    /// Minimum samples before the breaker may trip (cold replicas are not
+    /// judged on their first fetch).
+    pub min_samples: u32,
+    /// How long an Open breaker blocks traffic before letting probes through.
+    pub open_timeout: MediaDuration,
+    /// Maximum concurrent probe fetches admitted while HalfOpen.
+    pub half_open_probes: u32,
+    /// Consecutive probe successes required to close again.
+    pub close_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            alpha: 0.2,
+            latency_threshold: MediaDuration::from_millis(250),
+            error_threshold: 0.5,
+            min_samples: 5,
+            open_timeout: MediaDuration::from_millis(500),
+            half_open_probes: 2,
+            close_successes: 3,
+        }
+    }
+}
+
+/// The three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: all traffic admitted, health tracked.
+    Closed,
+    /// Tripped: no traffic until `open_timeout` elapses.
+    Open,
+    /// Probing: a bounded number of probe fetches decide the verdict.
+    HalfOpen,
+}
+
+/// Health record of one replica node: EWMA latency and error-rate scores
+/// plus the breaker state machine.
+#[derive(Debug, Clone)]
+pub struct NodeHealth {
+    /// EWMA of observed fetch latencies, in microseconds.
+    pub ewma_latency_micros: f64,
+    /// EWMA of the error indicator (1 per failure, 0 per success).
+    pub ewma_error_rate: f64,
+    /// Samples absorbed since the last reset/close.
+    pub samples: u32,
+    /// Current breaker state.
+    pub state: BreakerState,
+    /// When the breaker last tripped to Open.
+    opened_at: MediaTime,
+    /// Probe fetches currently in flight (HalfOpen only).
+    probes_in_flight: u32,
+    /// Consecutive probe successes while HalfOpen.
+    probe_successes: u32,
+    /// When the last probe slot was granted (stale-slot reclamation).
+    probed_at: MediaTime,
+    /// Times this replica's breaker tripped Closed/HalfOpen → Open.
+    pub trips: u64,
+}
+
+impl Default for NodeHealth {
+    fn default() -> Self {
+        NodeHealth::new()
+    }
+}
+
+impl NodeHealth {
+    /// A fresh record: Closed, no samples.
+    pub fn new() -> Self {
+        NodeHealth {
+            ewma_latency_micros: 0.0,
+            ewma_error_rate: 0.0,
+            samples: 0,
+            state: BreakerState::Closed,
+            opened_at: MediaTime::ZERO,
+            probes_in_flight: 0,
+            probe_successes: 0,
+            probed_at: MediaTime::ZERO,
+            trips: 0,
+        }
+    }
+
+    fn absorb(&mut self, cfg: &BreakerConfig, latency_micros: f64, error: f64) {
+        if self.samples == 0 {
+            self.ewma_latency_micros = latency_micros;
+            self.ewma_error_rate = error;
+        } else {
+            self.ewma_latency_micros =
+                cfg.alpha * latency_micros + (1.0 - cfg.alpha) * self.ewma_latency_micros;
+            self.ewma_error_rate = cfg.alpha * error + (1.0 - cfg.alpha) * self.ewma_error_rate;
+        }
+        self.samples = self.samples.saturating_add(1);
+    }
+
+    fn trip(&mut self, now: MediaTime) {
+        self.state = BreakerState::Open;
+        self.opened_at = now;
+        self.probes_in_flight = 0;
+        self.probe_successes = 0;
+        self.trips += 1;
+    }
+
+    /// A fetch to this replica completed successfully after `latency`.
+    pub fn record_success(&mut self, cfg: &BreakerConfig, now: MediaTime, latency: MediaDuration) {
+        self.absorb(cfg, latency.as_micros() as f64, 0.0);
+        match self.state {
+            BreakerState::Closed => {
+                if self.samples >= cfg.min_samples
+                    && self.ewma_latency_micros > cfg.latency_threshold.as_micros() as f64
+                {
+                    self.trip(now);
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.probes_in_flight = self.probes_in_flight.saturating_sub(1);
+                // A slow probe is not a recovery: only a probe under the
+                // latency threshold counts toward closing.
+                if latency <= cfg.latency_threshold {
+                    self.probe_successes += 1;
+                    if self.probe_successes >= cfg.close_successes {
+                        self.close();
+                    }
+                } else {
+                    self.trip(now);
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// A fetch to this replica failed (error, shed, or timed out).
+    pub fn record_failure(&mut self, cfg: &BreakerConfig, now: MediaTime) {
+        // A failure also counts as a worst-case latency sample so a replica
+        // that only ever errors still accumulates a poisoned latency score.
+        self.absorb(cfg, cfg.latency_threshold.as_micros() as f64 * 2.0, 1.0);
+        match self.state {
+            BreakerState::Closed => {
+                if self.samples >= cfg.min_samples
+                    && (self.ewma_error_rate > cfg.error_threshold
+                        || self.ewma_latency_micros > cfg.latency_threshold.as_micros() as f64)
+                {
+                    self.trip(now);
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.probes_in_flight = self.probes_in_flight.saturating_sub(1);
+                self.trip(now);
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// A fetch to this replica was abandoned with no verdict (e.g. a hedge
+    /// loser cancelled mid-flight): release any probe slot it held.
+    pub fn record_abandon(&mut self) {
+        if self.state == BreakerState::HalfOpen {
+            self.probes_in_flight = self.probes_in_flight.saturating_sub(1);
+        }
+    }
+
+    /// A hedge race resolved against this replica: its fetch was cancelled
+    /// after `elapsed` with no reply — a censored, lower-bound latency
+    /// observation (the true latency is *at least* `elapsed`). Scores the
+    /// latency wire, so a chronically slow replica trips even when hedges
+    /// beat it every time and no un-hedged completion ever samples it. It
+    /// never counts toward closing a half-open circuit: no verdict arrived.
+    pub fn record_slow_loss(
+        &mut self,
+        cfg: &BreakerConfig,
+        now: MediaTime,
+        elapsed: MediaDuration,
+    ) {
+        self.absorb(cfg, elapsed.as_micros() as f64, 0.0);
+        match self.state {
+            BreakerState::Closed => {
+                if self.samples >= cfg.min_samples
+                    && self.ewma_latency_micros > cfg.latency_threshold.as_micros() as f64
+                {
+                    self.trip(now);
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.probes_in_flight = self.probes_in_flight.saturating_sub(1);
+                if elapsed > cfg.latency_threshold {
+                    self.trip(now);
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn close(&mut self) {
+        self.state = BreakerState::Closed;
+        // A fresh verdict: forget the poisoned scores so the recovered
+        // replica is judged on post-recovery behaviour only.
+        self.samples = 0;
+        self.ewma_latency_micros = 0.0;
+        self.ewma_error_rate = 0.0;
+        self.probes_in_flight = 0;
+        self.probe_successes = 0;
+    }
+
+    /// May a fetch be sent to this replica right now? Open breakers move to
+    /// HalfOpen once `open_timeout` has elapsed; HalfOpen admits a bounded
+    /// number of concurrent probes. Admission of a probe reserves its slot —
+    /// the caller must follow up with `record_success`/`record_failure`/
+    /// `record_abandon`. Should every verdict be lost anyway (a probe
+    /// written off with a dead incarnation), the stale slots are reclaimed
+    /// after a further `open_timeout` so the breaker can never wedge
+    /// half-open.
+    pub fn admit(&mut self, cfg: &BreakerConfig, now: MediaTime) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if now - self.opened_at >= cfg.open_timeout {
+                    self.state = BreakerState::HalfOpen;
+                    self.probes_in_flight = 1;
+                    self.probe_successes = 0;
+                    self.probed_at = now;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if self.probes_in_flight < cfg.half_open_probes {
+                    self.probes_in_flight += 1;
+                    self.probed_at = now;
+                    true
+                } else if now - self.probed_at >= cfg.open_timeout {
+                    self.probes_in_flight = 1;
+                    self.probe_successes = 0;
+                    self.probed_at = now;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Selection penalty in microseconds: the EWMA latency, plus a large
+    /// constant while the breaker is not Closed so probed replicas rank
+    /// behind every healthy one.
+    pub fn penalty_micros(&self) -> i64 {
+        let base = self.ewma_latency_micros as i64;
+        match self.state {
+            BreakerState::Closed => base,
+            _ => base + 10_000_000,
+        }
+    }
+}
+
+/// Per-replica health map fronting [`crate::ReplicaSelector`]: the service
+/// layer records fetch outcomes here and filters/penalizes candidates by
+/// breaker verdicts before load/RTT selection.
+#[derive(Debug, Clone)]
+pub struct ReplicaHealthMap {
+    /// Breaker configuration shared by all replicas.
+    pub cfg: BreakerConfig,
+    nodes: BTreeMap<NodeId, NodeHealth>,
+    /// Trips of replicas whose health was since reset (kept so totals
+    /// survive node restarts).
+    retired_trips: u64,
+}
+
+impl ReplicaHealthMap {
+    /// An empty map with the given breaker configuration.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        ReplicaHealthMap {
+            cfg,
+            nodes: BTreeMap::new(),
+            retired_trips: 0,
+        }
+    }
+
+    fn entry(&mut self, node: NodeId) -> &mut NodeHealth {
+        self.nodes.entry(node).or_default()
+    }
+
+    /// Record a successful fetch to `node` with the observed latency.
+    pub fn record_success(&mut self, node: NodeId, now: MediaTime, latency: MediaDuration) {
+        let cfg = self.cfg;
+        self.entry(node).record_success(&cfg, now, latency);
+    }
+
+    /// Record a failed fetch to `node`.
+    pub fn record_failure(&mut self, node: NodeId, now: MediaTime) {
+        let cfg = self.cfg;
+        self.entry(node).record_failure(&cfg, now);
+    }
+
+    /// Record an abandoned fetch to `node` (no verdict).
+    pub fn record_abandon(&mut self, node: NodeId) {
+        self.entry(node).record_abandon();
+    }
+
+    /// Record a lost hedge race against `node`: a censored latency sample
+    /// of at least `elapsed` (see [`NodeHealth::record_slow_loss`]).
+    pub fn record_slow_loss(&mut self, node: NodeId, now: MediaTime, elapsed: MediaDuration) {
+        let cfg = self.cfg;
+        self.entry(node).record_slow_loss(&cfg, now, elapsed);
+    }
+
+    /// May a fetch be sent to `node` right now? (May transition the node's
+    /// breaker Open → HalfOpen and reserves a probe slot — see
+    /// [`NodeHealth::admit`].)
+    pub fn admit(&mut self, node: NodeId, now: MediaTime) -> bool {
+        let cfg = self.cfg;
+        self.entry(node).admit(&cfg, now)
+    }
+
+    /// Selection penalty for `node` (0 for unknown nodes).
+    pub fn penalty_micros(&self, node: NodeId) -> i64 {
+        self.nodes.get(&node).map_or(0, NodeHealth::penalty_micros)
+    }
+
+    /// Current breaker state of `node` (Closed for unknown nodes).
+    pub fn state(&self, node: NodeId) -> BreakerState {
+        self.nodes
+            .get(&node)
+            .map_or(BreakerState::Closed, |h| h.state)
+    }
+
+    /// Forget all health state for `node`: called when the node restarts
+    /// with a new incarnation, so stale-epoch scores cannot poison it. The
+    /// trip count is folded into the running total first.
+    pub fn reset(&mut self, node: NodeId) {
+        if let Some(h) = self.nodes.remove(&node) {
+            self.retired_trips += h.trips;
+        }
+    }
+
+    /// Total breaker trips across all replicas, including reset ones.
+    pub fn trips(&self) -> u64 {
+        self.retired_trips + self.nodes.values().map(|h| h.trips).sum::<u64>()
+    }
+
+    /// Health record of `node`, if any fetch outcome has been recorded.
+    pub fn health(&self, node: NodeId) -> Option<&NodeHealth> {
+        self.nodes.get(&node)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded request queue with deadline-aware shedding
+// ---------------------------------------------------------------------------
+
+/// One queued request with its shedding metadata.
+#[derive(Debug, Clone)]
+pub struct QueuedRequest<T> {
+    /// The request payload.
+    pub item: T,
+    /// When it entered the queue.
+    pub enqueued_at: MediaTime,
+    /// The playout deadline after which serving it is pointless.
+    pub deadline: MediaTime,
+    /// Pricing class of the requesting session (cheapest shed first).
+    pub class: PricingClass,
+}
+
+/// Statistics of an [`OverloadQueue`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverloadQueueStats {
+    /// Requests accepted into the queue.
+    pub enqueued: u64,
+    /// Requests dequeued for service.
+    pub served: u64,
+    /// Requests shed because their deadline was already unmeetable.
+    pub shed_deadline: u64,
+    /// Requests shed to bound the queue (oldest-first within the cheapest
+    /// class present).
+    pub shed_capacity: u64,
+}
+
+/// A bounded FIFO request queue with deadline-aware shedding: requests whose
+/// playout deadline has passed are dropped eagerly, and when the queue is
+/// full the oldest request of the cheapest pricing class present is shed to
+/// make room.
+#[derive(Debug, Clone)]
+pub struct OverloadQueue<T> {
+    /// Maximum queued requests.
+    pub capacity: usize,
+    queue: VecDeque<QueuedRequest<T>>,
+    /// Counters.
+    pub stats: OverloadQueueStats,
+}
+
+impl<T> OverloadQueue<T> {
+    /// An empty queue bounded to `capacity` requests.
+    pub fn new(capacity: usize) -> Self {
+        OverloadQueue {
+            capacity: capacity.max(1),
+            queue: VecDeque::new(),
+            stats: OverloadQueueStats::default(),
+        }
+    }
+
+    /// Queued requests right now.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True iff nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Queueing delay the head request has accumulated (zero when empty).
+    pub fn head_delay(&self, now: MediaTime) -> MediaDuration {
+        self.queue
+            .front()
+            .map_or(MediaDuration::ZERO, |r| now - r.enqueued_at)
+    }
+
+    /// Drop every request whose deadline has already passed (unmeetable),
+    /// returning them oldest-first so the caller can answer each.
+    pub fn expire(&mut self, now: MediaTime) -> Vec<QueuedRequest<T>> {
+        let mut shed = Vec::new();
+        let mut i = 0;
+        while i < self.queue.len() {
+            if self.queue[i].deadline < now {
+                shed.push(self.queue.remove(i).unwrap());
+            } else {
+                i += 1;
+            }
+        }
+        self.stats.shed_deadline += shed.len() as u64;
+        shed
+    }
+
+    /// Enqueue a request, returning every request shed to admit it: first
+    /// deadline-expired entries, then — if the queue is still over capacity —
+    /// the oldest entry of the cheapest class present (which may be the new
+    /// request itself).
+    pub fn push(&mut self, req: QueuedRequest<T>, now: MediaTime) -> Vec<QueuedRequest<T>> {
+        let mut shed = self.expire(now);
+        self.queue.push_back(req);
+        self.stats.enqueued += 1;
+        while self.queue.len() > self.capacity {
+            let cheapest = self.queue.iter().map(|r| r.class).min().unwrap();
+            let victim = self.queue.iter().position(|r| r.class == cheapest).unwrap();
+            shed.push(self.queue.remove(victim).unwrap());
+            self.stats.shed_capacity += 1;
+        }
+        shed
+    }
+
+    /// Keep only requests whose payload satisfies the predicate (used for
+    /// cancellations — removals are not counted as shed).
+    pub fn retain(&mut self, f: impl Fn(&T) -> bool) {
+        self.queue.retain(|r| f(&r.item));
+    }
+
+    /// Dequeue the next request in arrival order.
+    pub fn pop(&mut self) -> Option<QueuedRequest<T>> {
+        let r = self.queue.pop_front();
+        if r.is_some() {
+            self.stats.served += 1;
+        }
+        r
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CoDel-style pressure detector
+// ---------------------------------------------------------------------------
+
+/// A CoDel-style queue-delay pressure detector: pressure is declared when
+/// the observed delay stays above `target` continuously for at least
+/// `interval` — transient bursts pass, standing queues do not.
+#[derive(Debug, Clone, Copy)]
+pub struct PressureDetector {
+    /// The acceptable standing queue delay.
+    pub target: MediaDuration,
+    /// How long the delay must stay above target before pressure is declared.
+    pub interval: MediaDuration,
+    first_above: Option<MediaTime>,
+}
+
+impl PressureDetector {
+    /// A detector with the given delay target and confirmation interval.
+    pub fn new(target: MediaDuration, interval: MediaDuration) -> Self {
+        PressureDetector {
+            target,
+            interval,
+            first_above: None,
+        }
+    }
+
+    /// Feed one delay observation taken at `now`.
+    pub fn observe(&mut self, now: MediaTime, delay: MediaDuration) {
+        if delay < self.target {
+            self.first_above = None;
+        } else if self.first_above.is_none() {
+            self.first_above = Some(now);
+        }
+    }
+
+    /// True iff the delay has been above target for at least `interval`.
+    pub fn overloaded(&self, now: MediaTime) -> bool {
+        self.first_above.is_some_and(|t| now - t >= self.interval)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retry budget
+// ---------------------------------------------------------------------------
+
+/// A retry-budget token bucket: each retransmission spends a token, each
+/// acknowledged request refills one. An empty bucket suppresses resends so a
+/// reconnect wave against a recovering server is bounded to the budget
+/// instead of amplifying into a retry storm.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryBudget {
+    /// Bucket capacity (also the initial fill).
+    pub max_tokens: u32,
+    tokens: u32,
+    /// Retries granted.
+    pub spent: u64,
+    /// Retries suppressed because the bucket was empty.
+    pub suppressed: u64,
+}
+
+impl RetryBudget {
+    /// A full bucket holding `max_tokens`.
+    pub fn new(max_tokens: u32) -> Self {
+        RetryBudget {
+            max_tokens,
+            tokens: max_tokens,
+            spent: 0,
+            suppressed: 0,
+        }
+    }
+
+    /// Tokens currently available.
+    pub fn tokens(&self) -> u32 {
+        self.tokens
+    }
+
+    /// Spend one token for a retry. Returns false (and counts a suppression)
+    /// when the bucket is empty — the caller should skip the resend and only
+    /// re-arm its timer.
+    pub fn try_spend(&mut self) -> bool {
+        if self.tokens > 0 {
+            self.tokens -= 1;
+            self.spent += 1;
+            true
+        } else {
+            self.suppressed += 1;
+            false
+        }
+    }
+
+    /// A request succeeded (was acknowledged): refill one token.
+    pub fn on_success(&mut self) {
+        self.tokens = (self.tokens + 1).min(self.max_tokens);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: i64) -> MediaDuration {
+        MediaDuration::from_millis(v)
+    }
+    fn at(v: i64) -> MediaTime {
+        MediaTime::from_millis(v)
+    }
+
+    #[test]
+    fn breaker_trips_on_sustained_latency_and_recovers_via_probes() {
+        let cfg = BreakerConfig::default();
+        let mut h = NodeHealth::new();
+        // Healthy samples keep it closed.
+        for i in 0..10 {
+            h.record_success(&cfg, at(i * 10), ms(20));
+            assert_eq!(h.state, BreakerState::Closed);
+        }
+        // Sustained slowness trips it.
+        let mut t = 100;
+        while h.state == BreakerState::Closed {
+            h.record_success(&cfg, at(t), ms(800));
+            t += 10;
+        }
+        assert_eq!(h.state, BreakerState::Open);
+        assert_eq!(h.trips, 1);
+        // Blocked while Open, admitted as a probe after the timeout.
+        assert!(!h.admit(&cfg, at(t)));
+        let after = at(t) + cfg.open_timeout;
+        assert!(h.admit(&cfg, after));
+        assert_eq!(h.state, BreakerState::HalfOpen);
+        // Fast probes close it again.
+        for i in 0..cfg.close_successes {
+            if i > 0 {
+                assert!(h.admit(&cfg, after));
+            }
+            h.record_success(&cfg, after, ms(10));
+        }
+        assert_eq!(h.state, BreakerState::Closed);
+    }
+
+    #[test]
+    fn breaker_trips_on_error_rate() {
+        let cfg = BreakerConfig::default();
+        let mut h = NodeHealth::new();
+        let mut t = 0;
+        while h.state == BreakerState::Closed && t < 1000 {
+            h.record_failure(&cfg, at(t));
+            t += 10;
+        }
+        assert_eq!(h.state, BreakerState::Open);
+    }
+
+    #[test]
+    fn half_open_failure_reopens() {
+        let cfg = BreakerConfig::default();
+        let mut h = NodeHealth::new();
+        for _ in 0..10 {
+            h.record_failure(&cfg, at(0));
+        }
+        assert_eq!(h.state, BreakerState::Open);
+        let probe_at = at(0) + cfg.open_timeout;
+        assert!(h.admit(&cfg, probe_at));
+        h.record_failure(&cfg, probe_at);
+        assert_eq!(h.state, BreakerState::Open);
+        assert_eq!(h.trips, 2);
+    }
+
+    #[test]
+    fn half_open_probes_are_bounded() {
+        let cfg = BreakerConfig::default();
+        let mut h = NodeHealth::new();
+        for _ in 0..10 {
+            h.record_failure(&cfg, at(0));
+        }
+        let probe_at = at(0) + cfg.open_timeout;
+        let mut admitted = 0;
+        for _ in 0..20 {
+            if h.admit(&cfg, probe_at) {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, cfg.half_open_probes);
+        // An abandoned probe releases its slot.
+        h.record_abandon();
+        assert!(h.admit(&cfg, probe_at));
+    }
+
+    #[test]
+    fn half_open_stale_probe_slots_are_reclaimed() {
+        // If every probe verdict is lost (e.g. the replica's incarnation died
+        // with the probes in flight), the breaker must not wedge half-open:
+        // after a further open_timeout the slots are reclaimed.
+        let cfg = BreakerConfig::default();
+        let mut h = NodeHealth::new();
+        for _ in 0..10 {
+            h.record_failure(&cfg, at(0));
+        }
+        let t1 = at(0) + cfg.open_timeout;
+        for _ in 0..cfg.half_open_probes {
+            assert!(h.admit(&cfg, t1));
+        }
+        assert!(!h.admit(&cfg, t1), "probe slots exhausted");
+        // No verdict ever arrives; a full open_timeout later probing resumes.
+        let t2 = t1 + cfg.open_timeout;
+        assert!(h.admit(&cfg, t2), "stale slots must be reclaimed");
+        assert!(h.admit(&cfg, t2));
+        assert!(!h.admit(&cfg, t2), "reclaimed probes are bounded again");
+    }
+
+    #[test]
+    fn health_map_reset_forgets_state_but_keeps_trip_total() {
+        let n = NodeId::new(9);
+        let mut m = ReplicaHealthMap::new(BreakerConfig::default());
+        for _ in 0..10 {
+            m.record_failure(n, at(0));
+        }
+        assert_eq!(m.state(n), BreakerState::Open);
+        assert_eq!(m.trips(), 1);
+        m.reset(n);
+        assert_eq!(m.state(n), BreakerState::Closed);
+        assert!(m.admit(n, at(0)));
+        assert_eq!(m.trips(), 1, "trip history survives the reset");
+        assert_eq!(m.penalty_micros(n), 0);
+    }
+
+    #[test]
+    fn queue_sheds_expired_deadlines_first() {
+        let mut q: OverloadQueue<u32> = OverloadQueue::new(8);
+        for i in 0..4 {
+            let shed = q.push(
+                QueuedRequest {
+                    item: i,
+                    enqueued_at: at(0),
+                    deadline: at(100 + i as i64),
+                    class: PricingClass::Standard,
+                },
+                at(0),
+            );
+            assert!(shed.is_empty());
+        }
+        // Two deadlines pass; both are shed on the next push.
+        let shed = q.push(
+            QueuedRequest {
+                item: 9,
+                enqueued_at: at(102),
+                deadline: at(500),
+                class: PricingClass::Standard,
+            },
+            at(102),
+        );
+        assert_eq!(shed.iter().map(|r| r.item).collect::<Vec<_>>(), [0, 1]);
+        assert_eq!(q.stats.shed_deadline, 2);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn queue_capacity_sheds_oldest_of_cheapest_class() {
+        let mut q: OverloadQueue<u32> = OverloadQueue::new(3);
+        let classes = [
+            PricingClass::Premium,
+            PricingClass::Economy,
+            PricingClass::Economy,
+        ];
+        for (i, class) in classes.iter().enumerate() {
+            q.push(
+                QueuedRequest {
+                    item: i as u32,
+                    enqueued_at: at(i as i64),
+                    deadline: at(1_000),
+                    class: *class,
+                },
+                at(i as i64),
+            );
+        }
+        // Full: a premium push evicts the oldest economy entry (item 1).
+        let shed = q.push(
+            QueuedRequest {
+                item: 3,
+                enqueued_at: at(10),
+                deadline: at(1_000),
+                class: PricingClass::Premium,
+            },
+            at(10),
+        );
+        assert_eq!(shed.iter().map(|r| r.item).collect::<Vec<_>>(), [1]);
+        assert_eq!(q.stats.shed_capacity, 1);
+        // Queue is now [0 Premium, 2 Economy, 3 Premium]: a further economy
+        // push evicts the *older* economy entry, not the newcomer...
+        let shed = q.push(
+            QueuedRequest {
+                item: 4,
+                enqueued_at: at(11),
+                deadline: at(1_000),
+                class: PricingClass::Economy,
+            },
+            at(11),
+        );
+        assert_eq!(shed.iter().map(|r| r.item).collect::<Vec<_>>(), [2]);
+        // ...and once it is the only economy entry left, a premium push
+        // sheds the newcomer's own class mate — the newcomer survives only
+        // if it outranks something.
+        let shed = q.push(
+            QueuedRequest {
+                item: 5,
+                enqueued_at: at(12),
+                deadline: at(1_000),
+                class: PricingClass::Premium,
+            },
+            at(12),
+        );
+        assert_eq!(shed.iter().map(|r| r.item).collect::<Vec<_>>(), [4]);
+    }
+
+    #[test]
+    fn pressure_needs_sustained_delay() {
+        let mut p = PressureDetector::new(ms(20), ms(100));
+        p.observe(at(0), ms(50));
+        assert!(!p.overloaded(at(0)));
+        p.observe(at(60), ms(50));
+        assert!(!p.overloaded(at(60)), "above target but not long enough");
+        // A dip below target resets the episode.
+        p.observe(at(80), ms(5));
+        p.observe(at(90), ms(50));
+        assert!(!p.overloaded(at(150)));
+        p.observe(at(200), ms(50));
+        assert!(p.overloaded(at(200)), "90→200 stayed above target");
+    }
+
+    #[test]
+    fn retry_budget_bounds_a_storm_and_refills_on_success() {
+        let mut b = RetryBudget::new(3);
+        let mut granted = 0;
+        for _ in 0..10 {
+            if b.try_spend() {
+                granted += 1;
+            }
+        }
+        assert_eq!(granted, 3);
+        assert_eq!(b.suppressed, 7);
+        b.on_success();
+        assert!(b.try_spend());
+        assert!(!b.try_spend());
+        for _ in 0..100 {
+            b.on_success();
+        }
+        assert_eq!(b.tokens(), b.max_tokens, "refill saturates at capacity");
+    }
+}

@@ -14,7 +14,7 @@ use hermes_core::{
 };
 use hermes_media::MediaFrame;
 use hermes_rtp::{ReceivedFrame, RtpReceiver};
-use hermes_server::{SubscriptionForm, TopicEntry};
+use hermes_server::{RetryBudget, SubscriptionForm, TopicEntry};
 use hermes_simnet::SimApi;
 use std::collections::BTreeMap;
 
@@ -88,6 +88,11 @@ pub struct ClientConfig {
     pub retry_interval: MediaDuration,
     /// Give up on a tracked request after this many transmissions.
     pub retry_budget: u32,
+    /// Retry-budget token bucket capacity shared by all tracked requests:
+    /// each resend spends a token, each acknowledgement refills one, and an
+    /// empty bucket suppresses resends (the backoff clock keeps running) so
+    /// a recovering server sees a bounded wave, not a storm.
+    pub retry_tokens: u32,
 }
 
 impl Default for ClientConfig {
@@ -111,6 +116,7 @@ impl Default for ClientConfig {
             missed_beats: 3,
             retry_interval: MediaDuration::from_millis(500),
             retry_budget: 10,
+            retry_tokens: 16,
         }
     }
 }
@@ -170,6 +176,9 @@ pub struct ClientActor {
     next_query: u64,
     /// Tracked requests not yet acknowledged, by request id.
     pending_reqs: BTreeMap<u64, PendingReq>,
+    /// Token bucket gating tracked-request retransmissions (PR 1's backoff
+    /// decides *when* to resend; the budget decides *whether*).
+    pub retries: RetryBudget,
     next_req: u64,
     /// Last instant anything (heartbeat, stream data, control) arrived from
     /// the session's server.
@@ -191,6 +200,7 @@ impl ClientActor {
     /// Create a client on a node.
     pub fn new(node: NodeId, cfg: ClientConfig) -> Self {
         let feedback = cfg.feedback;
+        let retries = RetryBudget::new(cfg.retry_tokens);
         ClientActor {
             node,
             cfg,
@@ -214,6 +224,7 @@ impl ClientActor {
             history_nav: false,
             next_query: 1,
             pending_reqs: BTreeMap::new(),
+            retries,
             next_req: 1,
             last_server_activity: MediaTime::ZERO,
             liveness_armed: false,
@@ -288,15 +299,21 @@ impl ClientActor {
             return;
         }
         let (server, msg, attempts) = (p.server, p.msg.clone(), p.attempts);
-        api.send_reliable(
-            self.node,
-            server,
-            ServiceMsg::Tracked {
-                req,
-                inner: Box::new(msg),
-            },
-        );
         let backoff = self.cfg.retry_interval * (1i64 << attempts.min(5));
+        // The backoff clock always runs; the retry budget decides whether
+        // this tick actually reaches the wire. An empty bucket means too
+        // many unacknowledged resends are already in flight — let the
+        // attempt counter advance toward abandonment without amplifying.
+        if self.retries.try_spend() {
+            api.send_reliable(
+                self.node,
+                server,
+                ServiceMsg::Tracked {
+                    req,
+                    inner: Box::new(msg),
+                },
+            );
+        }
         api.set_timer(self.node, backoff, timers::TK_RETRY, req);
     }
 
@@ -706,9 +723,12 @@ impl ClientActor {
             self.last_server_activity = api.now();
         }
         match msg {
-            ServiceMsg::Ack { req } => {
-                self.pending_reqs.remove(&req);
+            // A first-seen acknowledgement refills the retry budget
+            // (duplicate acks of an already-settled id don't).
+            ServiceMsg::Ack { req } if self.pending_reqs.remove(&req).is_some() => {
+                self.retries.on_success();
             }
+            ServiceMsg::Ack { .. } => {}
             ServiceMsg::Heartbeat { .. } => {
                 // Activity already recorded above.
             }

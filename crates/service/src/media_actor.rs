@@ -7,12 +7,42 @@
 //! serves stateless [`ServiceMsg::MediaFetchRequest`]s: every segment is
 //! recomputed on demand from the object's metadata, so a crashed node
 //! loses nothing and a failed-over stream can resume from any replica.
+//!
+//! Serving is a single-server queue, not an instantaneous reply: each
+//! admitted request costs a deterministic service time (fixed overhead plus
+//! a per-byte disk/CPU cost, inflated by an injected brownout factor), and
+//! requests wait in a bounded [`OverloadQueue`] with deadline-aware
+//! shedding. Shed requests are answered with [`ServiceMsg::MediaFetchBusy`]
+//! so the puller fails over instead of timing out.
 
 use crate::protocol::ServiceMsg;
-use hermes_core::{GradeLevel, MediaKind, NodeId, ServerId};
+use crate::timers;
+use hermes_core::{GradeLevel, MediaDuration, MediaKind, MediaTime, NodeId, ServerId};
 use hermes_media::{segment_bytes, segment_frames, MediaObject, MediaStore};
+use hermes_server::{OverloadQueue, QueuedRequest};
 use hermes_simnet::SimApi;
 use std::collections::BTreeMap;
+
+/// Service-model configuration of a media node.
+#[derive(Debug, Clone)]
+pub struct MediaNodeConfig {
+    /// Maximum queued fetch requests before capacity shedding.
+    pub queue_capacity: usize,
+    /// Fixed per-request service overhead (seek + dispatch).
+    pub fixed_service: MediaDuration,
+    /// Service cost per mebibyte of segment payload (disk read + copy).
+    pub per_mbyte: MediaDuration,
+}
+
+impl Default for MediaNodeConfig {
+    fn default() -> Self {
+        MediaNodeConfig {
+            queue_capacity: 64,
+            fixed_service: MediaDuration::from_micros(200),
+            per_mbyte: MediaDuration::from_millis(2),
+        }
+    }
+}
 
 /// Serving statistics of one media node (the per-node load the placement
 /// experiment reports).
@@ -26,27 +56,68 @@ pub struct MediaNodeStats {
     pub bytes_served: u64,
     /// Fetches for objects this node does not hold.
     pub not_found: u64,
+    /// Transport parts shipped (conservation audit: every part sent must be
+    /// received by a server or die with an accounted fault).
+    pub parts_sent: u64,
+    /// Fetches shed with `MediaFetchBusy` (queue capacity or deadline).
+    pub busy_sent: u64,
+    /// Fetches cancelled while still queued (hedge losers).
+    pub cancelled: u64,
 }
 
-/// A media-server node: replicated content shards plus serving stats.
+/// One fetch waiting for (or receiving) service.
+#[derive(Debug, Clone)]
+struct PendingFetch {
+    fetch: u64,
+    from: NodeId,
+    server: ServerId,
+    kind: MediaKind,
+    object: String,
+    level: u8,
+    segment: u64,
+    frames_per_segment: u32,
+}
+
+/// A media-server node: replicated content shards, a bounded service queue
+/// and serving stats.
 pub struct MediaActor {
     /// The node this media server runs on.
     pub node: NodeId,
+    /// Service-model configuration.
+    pub cfg: MediaNodeConfig,
     /// Replica shards by (origin multimedia server, media kind). Keys from
     /// different origin servers may collide, so shards are kept separate.
     pub shards: BTreeMap<(ServerId, MediaKind), MediaStore>,
     /// Serving statistics.
     pub stats: MediaNodeStats,
+    /// Service-time multiplier injected by a `NodeSlow` fault (1 = nominal).
+    pub slowdown: u32,
+    /// The bounded request queue.
+    queue: OverloadQueue<PendingFetch>,
+    /// The request currently in service, if any.
+    serving: Option<PendingFetch>,
 }
 
 impl MediaActor {
-    /// An empty media node.
+    /// An empty media node with default service costs.
     pub fn new(node: NodeId) -> Self {
+        let cfg = MediaNodeConfig::default();
+        let queue = OverloadQueue::new(cfg.queue_capacity);
         MediaActor {
             node,
+            cfg,
             shards: BTreeMap::new(),
             stats: MediaNodeStats::default(),
+            slowdown: 1,
+            queue,
+            serving: None,
         }
+    }
+
+    /// Replace the service-model configuration (resizes the queue bound).
+    pub fn configure(&mut self, cfg: MediaNodeConfig) {
+        self.queue.capacity = cfg.queue_capacity.max(1);
+        self.cfg = cfg;
     }
 
     /// Install a replica of `object` for origin server `server` (content
@@ -63,37 +134,155 @@ impl MediaActor {
         self.shards.values().map(MediaStore::len).sum()
     }
 
+    /// Requests currently queued (not counting the one in service).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Shedding statistics of the request queue.
+    pub fn queue_stats(&self) -> hermes_server::OverloadQueueStats {
+        self.queue.stats
+    }
+
+    /// Apply/lift a brownout: service times multiply by `factor`.
+    pub fn set_slowdown(&mut self, factor: u32) {
+        self.slowdown = factor.max(1);
+    }
+
     /// Handle an incoming message addressed to this media node.
     pub fn on_message(&mut self, api: &mut SimApi<'_, ServiceMsg>, from: NodeId, msg: ServiceMsg) {
-        let ServiceMsg::MediaFetchRequest {
-            fetch,
-            server,
-            kind,
-            object,
-            level,
-            segment,
-            frames_per_segment,
-        } = msg
-        else {
-            return; // media nodes speak only the fetch protocol
-        };
-        let stored = self
-            .shards
-            .get(&(server, kind))
-            .and_then(|s| s.get(&object));
-        let Some(stored) = stored else {
-            self.stats.not_found += 1;
+        match msg {
+            ServiceMsg::MediaFetchRequest {
+                fetch,
+                server,
+                kind,
+                object,
+                level,
+                segment,
+                frames_per_segment,
+                deadline_micros,
+                class,
+            } => {
+                // Existence is a cheap metadata check answered immediately;
+                // only real service work queues.
+                if self
+                    .shards
+                    .get(&(server, kind))
+                    .and_then(|s| s.get(&object))
+                    .is_none()
+                {
+                    self.stats.not_found += 1;
+                    api.send_reliable(
+                        self.node,
+                        from,
+                        ServiceMsg::MediaFetchError {
+                            fetch,
+                            reason: format!("object '{object}' not replicated here"),
+                        },
+                    );
+                    return;
+                }
+                let req = QueuedRequest {
+                    item: PendingFetch {
+                        fetch,
+                        from,
+                        server,
+                        kind,
+                        object,
+                        level,
+                        segment,
+                        frames_per_segment,
+                    },
+                    enqueued_at: api.now(),
+                    deadline: MediaTime::from_micros(deadline_micros),
+                    class,
+                };
+                for shed in self.queue.push(req, api.now()) {
+                    self.stats.busy_sent += 1;
+                    api.send_reliable(
+                        self.node,
+                        shed.item.from,
+                        ServiceMsg::MediaFetchBusy {
+                            fetch: shed.item.fetch,
+                        },
+                    );
+                }
+                self.maybe_start(api);
+            }
+            ServiceMsg::MediaFetchCancel { fetch } => {
+                // Best effort: only a still-queued fetch can be abandoned;
+                // one already in service streams to completion.
+                let before = self.queue.len();
+                self.queue.retain(|p| p.fetch != fetch);
+                self.stats.cancelled += (before - self.queue.len()) as u64;
+            }
+            _ => {} // media nodes speak only the fetch protocol
+        }
+    }
+
+    /// Handle a timer on this media node.
+    pub fn on_timer(&mut self, api: &mut SimApi<'_, ServiceMsg>, key: u64, _payload: u64) {
+        if key != timers::TK_MEDIA_SVC {
+            return;
+        }
+        if let Some(p) = self.serving.take() {
+            self.finish(api, p);
+        }
+        self.maybe_start(api);
+    }
+
+    /// Start serving the queue head if the server is idle.
+    fn maybe_start(&mut self, api: &mut SimApi<'_, ServiceMsg>) {
+        if self.serving.is_some() {
+            return;
+        }
+        // Deadline-expired entries are shed eagerly at dispatch.
+        for shed in self.queue.expire(api.now()) {
+            self.stats.busy_sent += 1;
             api.send_reliable(
                 self.node,
-                from,
-                ServiceMsg::MediaFetchError {
-                    fetch,
-                    reason: format!("object '{object}' not replicated here"),
+                shed.item.from,
+                ServiceMsg::MediaFetchBusy {
+                    fetch: shed.item.fetch,
                 },
             );
+        }
+        let Some(next) = self.queue.pop() else {
             return;
         };
-        let frames = segment_frames(stored, GradeLevel(level), segment, frames_per_segment);
+        let p = next.item;
+        let bytes = self.segment_size(&p);
+        let service = self.service_time(bytes);
+        self.serving = Some(p);
+        api.set_timer(self.node, service, timers::TK_MEDIA_SVC, 0);
+    }
+
+    /// Total payload bytes of the segment `p` addresses.
+    fn segment_size(&self, p: &PendingFetch) -> u64 {
+        let stored = self
+            .shards
+            .get(&(p.server, p.kind))
+            .and_then(|s| s.get(&p.object))
+            .expect("existence checked at enqueue; shards are immutable");
+        let frames = segment_frames(stored, GradeLevel(p.level), p.segment, p.frames_per_segment);
+        segment_bytes(&frames)
+    }
+
+    /// Deterministic service time for a segment of `bytes` payload bytes.
+    fn service_time(&self, bytes: u64) -> MediaDuration {
+        let per_byte = self.cfg.per_mbyte.as_micros().max(0) as u64;
+        let us = self.cfg.fixed_service.as_micros().max(0) as u64 + bytes * per_byte / (1 << 20);
+        MediaDuration::from_micros(us as i64) * self.slowdown.max(1) as i64
+    }
+
+    /// Service of `p` completed: stream the segment back as transport parts.
+    fn finish(&mut self, api: &mut SimApi<'_, ServiceMsg>, p: PendingFetch) {
+        let stored = self
+            .shards
+            .get(&(p.server, p.kind))
+            .and_then(|s| s.get(&p.object))
+            .expect("existence checked at enqueue; shards are immutable");
+        let frames = segment_frames(stored, GradeLevel(p.level), p.segment, p.frames_per_segment);
         let total = segment_bytes(&frames);
         self.stats.requests_served += 1;
         self.stats.frames_served += frames.len() as u64;
@@ -109,11 +298,12 @@ impl MediaActor {
             let part = remaining.min(PART_BYTES);
             remaining -= part;
             let last = remaining == 0;
+            self.stats.parts_sent += 1;
             api.send_reliable(
                 self.node,
-                from,
+                p.from,
                 ServiceMsg::MediaFetchChunk {
-                    fetch,
+                    fetch: p.fetch,
                     payload_bytes: part as u32,
                     last,
                     frames: if last {
@@ -159,5 +349,20 @@ mod tests {
         // Same key, different origin servers: two distinct replicas.
         assert_eq!(m.objects(), 2);
         assert_eq!(m.shards.len(), 2);
+    }
+
+    #[test]
+    fn service_time_scales_with_bytes_and_slowdown() {
+        let mut m = MediaActor::new(NodeId::new(7));
+        let one_mib = m.service_time(1 << 20);
+        assert_eq!(
+            one_mib,
+            m.cfg.fixed_service + m.cfg.per_mbyte,
+            "1 MiB costs fixed + per-MiB"
+        );
+        m.set_slowdown(8);
+        assert_eq!(m.service_time(1 << 20), one_mib * 8);
+        m.set_slowdown(0); // clamped to nominal
+        assert_eq!(m.service_time(1 << 20), one_mib);
     }
 }

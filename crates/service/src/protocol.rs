@@ -353,6 +353,12 @@ pub enum ServiceMsg {
         segment: u64,
         /// Frames per segment the puller addresses with.
         frames_per_segment: u32,
+        /// Playout deadline (absolute sim time, µs): past it the segment is
+        /// useless, so an overloaded media node sheds the request instead
+        /// of serving it late.
+        deadline_micros: i64,
+        /// Pricing class of the requesting session (cheapest shed first).
+        class: PricingClass,
     },
     /// Media node → multimedia server: the requested segment's frame
     /// content. The wire size charges the frame payload — this is the hop
@@ -383,6 +389,22 @@ pub enum ServiceMsg {
         fetch: u64,
         /// Why.
         reason: String,
+    },
+    /// Media node → multimedia server: the fetch was shed by overload
+    /// control (queue full or deadline unmeetable). Unlike
+    /// [`ServiceMsg::MediaFetchError`] this is transient — the puller
+    /// records a failure against the replica and re-requests elsewhere
+    /// rather than stopping the stream.
+    MediaFetchBusy {
+        /// The fetch id being shed.
+        fetch: u64,
+    },
+    /// Multimedia server → media node: abandon a fetch if still queued (the
+    /// hedged duplicate already won). Best-effort — a fetch already being
+    /// served streams to completion.
+    MediaFetchCancel {
+        /// The fetch id to abandon.
+        fetch: u64,
     },
 
     // ---- feedback (RTCP path) ----
@@ -491,7 +513,9 @@ impl ServiceMsg {
             | ServiceMsg::MailBox { .. } => StackPath::MailSmtp,
             ServiceMsg::MediaFetchRequest { .. }
             | ServiceMsg::MediaFetchChunk { .. }
-            | ServiceMsg::MediaFetchError { .. } => StackPath::MediaFetchTcp,
+            | ServiceMsg::MediaFetchError { .. }
+            | ServiceMsg::MediaFetchBusy { .. }
+            | ServiceMsg::MediaFetchCancel { .. } => StackPath::MediaFetchTcp,
             _ => StackPath::ControlTcp,
         }
     }
@@ -544,7 +568,7 @@ impl WireSize for ServiceMsg {
             ServiceMsg::GroupEpoch { .. } => 16 + 28,
             ServiceMsg::RtpData { packet, .. } => packet.wire_size(),
             ServiceMsg::DiscreteData { size, .. } => 24 + *size as usize + TCP_IP_OVERHEAD,
-            ServiceMsg::MediaFetchRequest { object, .. } => 48 + object.len() + TCP_IP_OVERHEAD,
+            ServiceMsg::MediaFetchRequest { object, .. } => 57 + object.len() + TCP_IP_OVERHEAD,
             ServiceMsg::MediaFetchChunk {
                 payload_bytes,
                 frames,
@@ -555,6 +579,9 @@ impl WireSize for ServiceMsg {
                 16 + *payload_bytes as usize + 5 * frames.len() + TCP_IP_OVERHEAD
             }
             ServiceMsg::MediaFetchError { reason, .. } => 16 + reason.len() + TCP_IP_OVERHEAD,
+            ServiceMsg::MediaFetchBusy { .. } | ServiceMsg::MediaFetchCancel { .. } => {
+                16 + TCP_IP_OVERHEAD
+            }
             ServiceMsg::RtcpSenderReport { packet, .. } => packet.wire_size(),
             ServiceMsg::Feedback {
                 measurements, rtcp, ..

@@ -14,11 +14,11 @@ use hermes_media::{segment_of_frame, CodecModel, FrameSource, SegmentFrame};
 use hermes_rtp::RtpSender;
 use hermes_server::{
     compute_flow_scenario, AccountsDb, AdmissionController, AdmissionDecision, BatchingPolicy,
-    Charge, ConnectionRequest, FlowConfig, FlowPlan, GroupPhase, MultimediaDb, PathCondition,
-    PlacementMap, ReplicaSelector, SegmentCache, SegmentKey, ServerQosManager, ShareDecision,
-    SharingMode, SharingPolicy,
+    BreakerConfig, BreakerState, Charge, ConnectionRequest, FlowConfig, FlowPlan, GroupPhase,
+    MultimediaDb, PathCondition, PlacementMap, PressureDetector, ReplicaHealthMap, ReplicaSelector,
+    SegmentCache, SegmentKey, ServerQosManager, ShareDecision, SharingMode, SharingPolicy,
 };
-use hermes_simnet::SimApi;
+use hermes_simnet::{DurationHistogram, SimApi};
 use std::collections::{BTreeMap, VecDeque};
 
 /// One active outgoing media stream of a session.
@@ -179,6 +179,36 @@ pub struct MediaTierConfig {
     pub pipeline: u32,
     /// Re-poll interval while a stream is stalled waiting for the tier.
     pub stall_poll: MediaDuration,
+    /// Consult the per-replica circuit breaker: score fetch outcomes,
+    /// penalise sick replicas at selection time and bound probe traffic
+    /// while a tripped circuit is half-open.
+    pub breaker: bool,
+    /// Circuit-breaker tuning (EWMA thresholds, open timeout, probe count).
+    pub breaker_cfg: BreakerConfig,
+    /// Issue a duplicate fetch to the next-best replica when the first has
+    /// not answered within the hedge delay; first response wins.
+    pub hedging: bool,
+    /// Floor of the adaptive (P95-derived) hedge delay.
+    pub hedge_min: MediaDuration,
+    /// Cap of the adaptive hedge delay; also used until enough latency
+    /// samples accumulate to estimate a P95.
+    pub hedge_max: MediaDuration,
+    /// Slack added to every fetch deadline beyond the playout horizon the
+    /// stream's buffered frames already cover.
+    pub deadline_slack: MediaDuration,
+    /// Walk active sessions down the grade ladder under sustained fetch
+    /// pressure (the mid-session extension of admission-time shedding).
+    pub ladder: bool,
+    /// Fetch-latency target of the CoDel-style pressure detector.
+    pub pressure_target: MediaDuration,
+    /// How long fetch latency must stay above target before the detector
+    /// declares pressure (transient bursts pass).
+    pub pressure_interval: MediaDuration,
+    /// Cadence of the degradation-ladder evaluation timer.
+    pub ladder_period: MediaDuration,
+    /// Calm period required before one degraded level is restored (and the
+    /// spacing between successive restores).
+    pub ladder_hysteresis: MediaDuration,
 }
 
 impl Default for MediaTierConfig {
@@ -189,6 +219,17 @@ impl Default for MediaTierConfig {
             frames_per_segment: 32,
             pipeline: 3,
             stall_poll: MediaDuration::from_millis(10),
+            breaker: true,
+            breaker_cfg: BreakerConfig::default(),
+            hedging: false,
+            hedge_min: MediaDuration::from_millis(5),
+            hedge_max: MediaDuration::from_millis(250),
+            deadline_slack: MediaDuration::from_millis(500),
+            ladder: false,
+            pressure_target: MediaDuration::from_millis(50),
+            pressure_interval: MediaDuration::from_millis(100),
+            ladder_period: MediaDuration::from_millis(250),
+            ladder_hysteresis: MediaDuration::from_secs(2),
         }
     }
 }
@@ -206,6 +247,28 @@ pub struct MediaTierStats {
     pub failovers: u64,
     /// Fetches answered with [`ServiceMsg::MediaFetchError`].
     pub fetch_errors: u64,
+    /// Transport parts received from media nodes (conservation audit
+    /// against the nodes' `parts_sent`).
+    pub parts_received: u64,
+    /// Fetches answered with [`ServiceMsg::MediaFetchBusy`] (shed by an
+    /// overloaded node's queue).
+    pub busy: u64,
+    /// Duplicate fetches issued after the hedge delay expired unanswered.
+    pub hedges: u64,
+    /// Hedge races the duplicate won.
+    pub hedge_wins: u64,
+    /// Losing fetches of resolved hedge races cancelled at their node.
+    pub hedge_cancels: u64,
+    /// Circuit transitions to Open (cumulative; survives health resets and
+    /// server restarts, unlike the live health map).
+    pub breaker_trips: u64,
+    /// Outstanding fetches written off by a media-node incarnation event.
+    pub fetches_lost: u64,
+    /// Degradation-ladder steps applied (one victim session walked one
+    /// level down).
+    pub ladder_degrades: u64,
+    /// Degradation-ladder steps restored after pressure cleared.
+    pub ladder_restores: u64,
 }
 
 /// Identifies an outstanding fetch (for chunk routing and failover).
@@ -223,6 +286,12 @@ pub struct FetchTag {
     pub epoch: u32,
     /// The media node it was sent to.
     pub replica: NodeId,
+    /// When the fetch was issued (health latency samples, hedge timing).
+    pub issued_at: MediaTime,
+    /// The playout deadline the request carried.
+    pub deadline: MediaTime,
+    /// True for the duplicate of a hedged pair.
+    pub hedged: bool,
 }
 
 /// The multimedia server's side of the distributed media tier: where its
@@ -244,12 +313,23 @@ pub struct MediaTier {
     next_fetch: u64,
     /// Fetch-path counters.
     pub stats: MediaTierStats,
+    /// Per-replica EWMA health scores and circuit breakers.
+    pub health: ReplicaHealthMap,
+    /// Completed-fetch latency distribution: drives the adaptive hedge
+    /// delay and the reported tail percentiles.
+    pub fetch_latency: DurationHistogram,
+    /// CoDel-style pressure detector over fetch latency (ladder trigger).
+    pub pressure: PressureDetector,
+    /// Unresolved hedge races, keyed both ways (primary ⇄ duplicate).
+    pub hedge_pairs: BTreeMap<u64, u64>,
 }
 
 impl MediaTier {
     /// A tier client for `placement` under `cfg`.
     pub fn new(cfg: MediaTierConfig, placement: PlacementMap) -> Self {
         let cache = SegmentCache::new(cfg.cache_bytes);
+        let health = ReplicaHealthMap::new(cfg.breaker_cfg);
+        let pressure = PressureDetector::new(cfg.pressure_target, cfg.pressure_interval);
         MediaTier {
             cfg,
             placement,
@@ -258,7 +338,22 @@ impl MediaTier {
             inflight: BTreeMap::new(),
             next_fetch: 1,
             stats: MediaTierStats::default(),
+            health,
+            fetch_latency: DurationHistogram::new(MediaDuration::from_millis(1), 1024),
+            pressure,
+            hedge_pairs: BTreeMap::new(),
         }
+    }
+
+    /// The hedge delay: the observed P95 fetch latency clamped to the
+    /// configured window; the cap until enough samples accumulate.
+    pub fn hedge_delay(&self) -> MediaDuration {
+        if self.fetch_latency.count() < 16 {
+            return self.cfg.hedge_max;
+        }
+        self.fetch_latency
+            .quantile(0.95)
+            .clamp(self.cfg.hedge_min, self.cfg.hedge_max)
     }
 }
 
@@ -294,6 +389,16 @@ pub struct SessionState {
     pub shed_levels: u8,
     /// The shared delivery group this session belongs to, if any.
     pub group: Option<u64>,
+}
+
+/// One degradation-ladder step: a victim session walked one level down,
+/// with the per-component levels it held before (exact restore target).
+#[derive(Debug, Clone)]
+pub struct LadderStep {
+    /// The victim session.
+    pub session: SessionId,
+    /// The levels its continuous streams held before this step.
+    pub prior: Vec<(ComponentId, GradeLevel)>,
 }
 
 /// A distributed search in progress.
@@ -395,6 +500,14 @@ pub struct ServerActor {
     next_group: u64,
     /// Stream-sharing counters.
     pub sharing_stats: SharingStats,
+    /// Sessions stepped down by the degradation ladder, most recent last
+    /// (restores pop in LIFO order).
+    pub ladder_stack: Vec<LadderStep>,
+    /// The ladder evaluation timer chain is running.
+    ladder_armed: bool,
+    /// Last instant the ladder saw pressure (or acted); restores wait out
+    /// the hysteresis from here.
+    ladder_last_pressure: MediaTime,
 }
 
 impl ServerActor {
@@ -423,6 +536,9 @@ impl ServerActor {
             open_groups: BTreeMap::new(),
             next_group: 1,
             sharing_stats: SharingStats::default(),
+            ladder_stack: Vec::new(),
+            ladder_armed: false,
+            ladder_last_pressure: MediaTime::ZERO,
         }
     }
 
@@ -455,7 +571,15 @@ impl ServerActor {
             tier.cache.stats = stats;
             tier.inflight.clear();
             tier.selector = ReplicaSelector::new();
+            // Health scores, hedge races and pressure state are RAM too;
+            // breaker trips live in `stats` and survive for reporting.
+            tier.health = ReplicaHealthMap::new(tier.cfg.breaker_cfg);
+            tier.hedge_pairs.clear();
+            tier.pressure =
+                PressureDetector::new(tier.cfg.pressure_target, tier.cfg.pressure_interval);
         }
+        self.ladder_stack.clear();
+        self.ladder_armed = false;
     }
 
     fn start_heartbeat(&mut self, api: &mut SimApi<'_, ServiceMsg>, session: SessionId) {
@@ -511,6 +635,7 @@ impl ServerActor {
                 ..
             } => self.on_media_chunk(api, fetch, frames, last),
             ServiceMsg::MediaFetchError { fetch, .. } => self.on_media_error(api, fetch),
+            ServiceMsg::MediaFetchBusy { fetch } => self.on_media_busy(api, fetch),
             ServiceMsg::Pause { session } => {
                 if let Some(s) = self.sessions.get_mut(&session) {
                     s.paused = true;
@@ -651,6 +776,9 @@ impl ServerActor {
                     api.send_reliable(self.node, client, ServiceMsg::SuspendExpired { session });
                 }
             }
+            timers::TK_HEDGE => self.on_hedge_timer(api, payload),
+            timers::TK_LADDER => self.on_ladder_tick(api),
+            timers::TK_REPUMP => self.on_repump(api, payload),
             _ => {}
         }
     }
@@ -662,6 +790,7 @@ impl ServerActor {
         user: Option<UserId>,
         class: PricingClass,
     ) {
+        self.ensure_ladder(api);
         let session = SessionId::new(self.next_session);
         self.next_session += 1;
         let authorized = user
@@ -1575,7 +1704,10 @@ impl ServerActor {
     }
 
     /// Point a remote stream at the best live replica of its object (score:
-    /// outstanding load + path RTT). Returns false when no replica is up.
+    /// outstanding load + path RTT + breaker health penalty — a tripped or
+    /// probing circuit loses to any closed one, so outliers are ejected
+    /// whenever a healthy alternative exists). Returns false when no
+    /// replica is up.
     fn reselect_replica(
         &mut self,
         api: &SimApi<'_, ServiceMsg>,
@@ -1608,7 +1740,12 @@ impl ServerActor {
                     .filter_map(|(a, b)| net.link(*a, *b))
                     .map(|l| l.spec.propagation.as_micros())
                     .sum();
-                (n, prop * 2)
+                let penalty = if tier.cfg.breaker {
+                    tier.health.penalty_micros(n)
+                } else {
+                    0
+                };
+                (n, prop * 2 + penalty)
             })
             .collect();
         let Some(choice) = tier.selector.pick(&candidates) else {
@@ -1662,6 +1799,7 @@ impl ServerActor {
         let Some(s) = self.sessions.get_mut(&session) else {
             return;
         };
+        let class = s.class;
         let Some(tx) = s.streams.get_mut(&component) else {
             return;
         };
@@ -1676,12 +1814,21 @@ impl ServerActor {
             1
         };
         let level = tx.source.level();
+        let period = tx.source.model().level(level).frame_period();
         let Some(r) = tx.remote.as_mut() else {
             return;
         };
         let fps = r.frames_per_segment;
+        let now = api.now();
         while (r.inflight.len() as u32) < tier.cfg.pipeline && r.frames_covered() < needed {
             let seg = r.next_request;
+            // After a shed rolls the cursor back, segments between the shed
+            // one and the frontier may still be covered — skip them.
+            if seg < r.next_append || r.inflight.contains_key(&seg) || r.pending.contains_key(&seg)
+            {
+                r.next_request = seg + 1;
+                continue;
+            }
             let key = SegmentKey {
                 object: r.object.clone(),
                 level,
@@ -1700,6 +1847,17 @@ impl ServerActor {
                 // it at a live (or restarted) replica.
                 break;
             }
+            if tier.cfg.breaker && !tier.health.admit(r.replica, now) {
+                // Circuit open (or half-open with its probe slots taken):
+                // hold the window. The stall poll re-pumps, and the open
+                // timeout eventually admits probes through this same path.
+                break;
+            }
+            // The segment is useful until the pacer plays out everything it
+            // already has ahead of it; past that (plus slack for transport)
+            // the node may shed the request instead of serving dead work.
+            let deadline =
+                now + period * (r.frames_covered() + fps as u64) as i64 + tier.cfg.deadline_slack;
             let fetch = tier.next_fetch;
             tier.next_fetch += 1;
             tier.selector.fetch_started(r.replica);
@@ -1712,6 +1870,9 @@ impl ServerActor {
                     level,
                     epoch: r.epoch,
                     replica: r.replica,
+                    issued_at: now,
+                    deadline,
+                    hedged: false,
                 },
             );
             r.inflight.insert(seg, fetch);
@@ -1728,8 +1889,13 @@ impl ServerActor {
                     level: level.0,
                     segment: seg,
                     frames_per_segment: fps,
+                    deadline_micros: deadline.as_micros(),
+                    class,
                 },
             );
+            if tier.cfg.hedging {
+                api.set_timer(node, tier.hedge_delay(), timers::TK_HEDGE, fetch);
+            }
         }
     }
 
@@ -1744,17 +1910,72 @@ impl ServerActor {
         frames: Vec<SegmentFrame>,
         last: bool,
     ) {
-        if !last {
-            return;
+        let now = api.now();
+        let newly_open;
+        let mut loser_slow = None;
+        let tag = {
+            let Some(tier) = self.media.as_mut() else {
+                return;
+            };
+            tier.stats.parts_received += 1;
+            if !last {
+                return;
+            }
+            let Some(tag) = tier.inflight.remove(&fetch) else {
+                return; // superseded by failover or session teardown
+            };
+            tier.selector.fetch_finished(tag.replica);
+            tier.stats.chunks += 1;
+            let latency = now - tag.issued_at;
+            tier.fetch_latency.record(latency);
+            tier.pressure.observe(now, latency);
+            newly_open = Self::note_success(tier, tag.replica, now, latency);
+            // Resolve the hedge race: first completion wins, the loser is
+            // cancelled at its node (best effort) and accounted. The time
+            // the loser spent unanswered is a censored latency observation
+            // — enough to trip the breaker on a chronically slow replica
+            // that hedges always beat, without counting as a real verdict.
+            if let Some(partner) = tier.hedge_pairs.remove(&fetch) {
+                tier.hedge_pairs.remove(&partner);
+                if tag.hedged {
+                    tier.stats.hedge_wins += 1;
+                }
+                if let Some(ptag) = tier.inflight.remove(&partner) {
+                    tier.selector.fetch_finished(ptag.replica);
+                    loser_slow =
+                        Self::note_slow_loss(tier, ptag.replica, now, now - ptag.issued_at);
+                    tier.stats.hedge_cancels += 1;
+                    api.send_reliable(
+                        self.node,
+                        ptag.replica,
+                        ServiceMsg::MediaFetchCancel { fetch: partner },
+                    );
+                }
+            }
+            tag
+        };
+        self.deliver_segment(api, tag, frames);
+        if newly_open {
+            // A successful-but-slow completion can still trip the breaker
+            // (EWMA latency): eject only after the fetched frames landed.
+            self.eject_replica_streams(api, tag.replica);
         }
+        if let Some(sick) = loser_slow {
+            self.eject_replica_streams(api, sick);
+        }
+    }
+
+    /// Book a completed fetch's frames into its stream (cache offer, window
+    /// bookkeeping, discrete dispatch).
+    fn deliver_segment(
+        &mut self,
+        api: &mut SimApi<'_, ServiceMsg>,
+        tag: FetchTag,
+        frames: Vec<SegmentFrame>,
+    ) {
         let Some(tier) = self.media.as_mut() else {
             return;
         };
-        let Some(tag) = tier.inflight.remove(&fetch) else {
-            return; // superseded by failover or session teardown
-        };
-        tier.selector.fetch_finished(tag.replica);
-        tier.stats.chunks += 1;
         let Some(r) = self
             .sessions
             .get_mut(&tag.session)
@@ -1796,6 +2017,7 @@ impl ServerActor {
     /// A media node refused a fetch (object not replicated there): stop the
     /// stream — retrying cannot succeed, the placement map is wrong.
     fn on_media_error(&mut self, api: &mut SimApi<'_, ServiceMsg>, fetch: u64) {
+        let now = api.now();
         let Some(tier) = self.media.as_mut() else {
             return;
         };
@@ -1804,6 +2026,11 @@ impl ServerActor {
         };
         tier.selector.fetch_finished(tag.replica);
         tier.stats.fetch_errors += 1;
+        Self::note_failure(tier, tag.replica, now);
+        if let Some(partner) = tier.hedge_pairs.remove(&fetch) {
+            // The partner (if still outstanding) carries on alone.
+            tier.hedge_pairs.remove(&partner);
+        }
         let Some(s) = self.sessions.get_mut(&tag.session) else {
             return;
         };
@@ -1824,6 +2051,453 @@ impl ServerActor {
         }
     }
 
+    /// A media node shed a fetch from its overloaded queue. Unlike a fetch
+    /// *error* this is flow control, not a health verdict: the shed is NOT
+    /// scored into the breaker (under a symmetric flash crowd every replica
+    /// queues alike, and tripping circuits on shared congestion only
+    /// strangles throughput further). The stream's window is re-requested —
+    /// immediately when overload control is off (the naive retry storm the
+    /// benchmarks measure), after a `stall_poll` pause when it is on, so
+    /// retry pressure on saturated queues is paced. A still-racing hedge
+    /// partner carries the segment alone instead.
+    fn on_media_busy(&mut self, api: &mut SimApi<'_, ServiceMsg>, fetch: u64) {
+        let paced;
+        let partner_live;
+        let tag = {
+            let Some(tier) = self.media.as_mut() else {
+                return;
+            };
+            tier.stats.busy += 1;
+            let Some(tag) = tier.inflight.remove(&fetch) else {
+                return;
+            };
+            tier.selector.fetch_finished(tag.replica);
+            paced = tier.cfg.breaker;
+            let partner = tier.hedge_pairs.remove(&fetch);
+            if let Some(p) = partner {
+                tier.hedge_pairs.remove(&p);
+            }
+            partner_live = partner.is_some_and(|p| tier.inflight.contains_key(&p));
+            tag
+        };
+        if partner_live {
+            return;
+        }
+        // Surgical retry of just the shed segment: roll the request cursor
+        // back so the next pump re-requests it. Sibling fetches, buffered
+        // segments and the epoch all stay valid — a shed must not discard
+        // work the node is still completing. The epoch check skips this if
+        // something else already moved the stream.
+        let Some(r) = self
+            .sessions
+            .get_mut(&tag.session)
+            .and_then(|s| s.streams.get_mut(&tag.component))
+            .and_then(|tx| (!tx.done && !tx.stopped).then_some(tx))
+            .and_then(|tx| tx.remote.as_mut())
+        else {
+            return;
+        };
+        if r.epoch != tag.epoch {
+            return;
+        }
+        r.inflight.remove(&tag.segment);
+        r.next_request = r.next_request.min(tag.segment);
+        if paced {
+            let delay = self.media.as_ref().map(|t| t.cfg.stall_poll).unwrap();
+            api.set_timer(
+                self.node,
+                delay,
+                timers::TK_REPUMP,
+                timers::pack(tag.session, tag.component),
+            );
+        } else if self.reselect_replica(api, tag.session, tag.component) {
+            self.pump_remote(api, tag.session, tag.component);
+        }
+    }
+
+    /// Paced retry of a stream whose fetch was shed: re-pick a replica and
+    /// refill the window (a no-op if a chunk, an eject or another shed
+    /// already did).
+    fn on_repump(&mut self, api: &mut SimApi<'_, ServiceMsg>, payload: u64) {
+        let (session, component) = timers::unpack(payload);
+        let live = self
+            .sessions
+            .get(&session)
+            .and_then(|s| s.streams.get(&component))
+            .and_then(|tx| (!tx.done && !tx.stopped).then_some(tx))
+            .is_some_and(|tx| tx.remote.is_some());
+        if live && self.reselect_replica(api, session, component) {
+            self.pump_remote(api, session, component);
+        }
+    }
+
+    /// Score a completed fetch into the health map (breaker enabled only).
+    /// Returns true when this observation newly tripped the circuit Open.
+    fn note_success(
+        tier: &mut MediaTier,
+        node: NodeId,
+        now: MediaTime,
+        latency: MediaDuration,
+    ) -> bool {
+        if !tier.cfg.breaker {
+            return false;
+        }
+        let was = tier.health.state(node);
+        tier.health.record_success(node, now, latency);
+        let tripped = was != BreakerState::Open && tier.health.state(node) == BreakerState::Open;
+        if tripped {
+            tier.stats.breaker_trips += 1;
+        }
+        tripped
+    }
+
+    /// Score a lost hedge race into the loser's health map (breaker enabled
+    /// only): a censored latency sample of at least `elapsed`. Returns
+    /// `Some(node)` when the observation newly tripped its circuit Open.
+    fn note_slow_loss(
+        tier: &mut MediaTier,
+        node: NodeId,
+        now: MediaTime,
+        elapsed: MediaDuration,
+    ) -> Option<NodeId> {
+        if !tier.cfg.breaker {
+            return None;
+        }
+        let was = tier.health.state(node);
+        tier.health.record_slow_loss(node, now, elapsed);
+        let tripped = was != BreakerState::Open && tier.health.state(node) == BreakerState::Open;
+        if tripped {
+            tier.stats.breaker_trips += 1;
+            return Some(node);
+        }
+        None
+    }
+
+    /// Score a failed fetch into the health map (breaker enabled only).
+    /// Returns true when this observation newly tripped the circuit Open.
+    fn note_failure(tier: &mut MediaTier, node: NodeId, now: MediaTime) -> bool {
+        if !tier.cfg.breaker {
+            return false;
+        }
+        let was = tier.health.state(node);
+        tier.health.record_failure(node, now);
+        let tripped = was != BreakerState::Open && tier.health.state(node) == BreakerState::Open;
+        if tripped {
+            tier.stats.breaker_trips += 1;
+        }
+        tripped
+    }
+
+    /// A replica's circuit just tripped Open: re-point every live stream
+    /// pulling from it at the best admitted alternative — the same motion
+    /// as a media-node crash, but without touching incarnation state
+    /// (outstanding fetches may still complete, and their outcomes keep
+    /// feeding the health score). With no healthy alternative the selector
+    /// re-picks the sick node and the probe gate in `pump_remote` paces
+    /// recovery traffic instead.
+    fn eject_replica_streams(&mut self, api: &mut SimApi<'_, ServiceMsg>, sick: NodeId) {
+        let mut affected: Vec<(SessionId, ComponentId)> = Vec::new();
+        for (sid, s) in self.sessions.iter_mut() {
+            for (cid, tx) in s.streams.iter_mut() {
+                if tx.done || tx.stopped {
+                    continue;
+                }
+                let Some(r) = tx.remote.as_mut() else {
+                    continue;
+                };
+                if r.replica != sick {
+                    continue;
+                }
+                r.pending.clear();
+                r.inflight.clear();
+                r.next_request = r.next_append;
+                r.epoch += 1;
+                affected.push((*sid, *cid));
+            }
+        }
+        for &(sid, cid) in &affected {
+            if self.reselect_replica(api, sid, cid) {
+                self.pump_remote(api, sid, cid);
+            }
+        }
+        // Shared groups fail over as one unit, exactly as on a node crash.
+        let mut bumped: Vec<(u64, u64)> = Vec::new();
+        for (gid, g) in self.groups.iter_mut() {
+            if affected.iter().any(|(sid, _)| *sid == g.leader) {
+                g.epoch += 1;
+                bumped.push((*gid, g.epoch));
+            }
+        }
+        for (gid, epoch) in bumped {
+            self.sharing_stats.epoch_bumps += 1;
+            api.send_mcast(self.node, gid, ServiceMsg::GroupEpoch { group: gid, epoch });
+        }
+    }
+
+    /// The hedge delay of a fetch expired unanswered (timer `TK_HEDGE`,
+    /// payload = fetch id): race a duplicate against the next-best replica.
+    /// First response wins; the loser is cancelled and accounted.
+    fn on_hedge_timer(&mut self, api: &mut SimApi<'_, ServiceMsg>, fetch: u64) {
+        let now = api.now();
+        let node = self.node;
+        let server_id = self.server_id;
+        let Some(tier) = self.media.as_ref() else {
+            return;
+        };
+        if !tier.cfg.hedging {
+            return;
+        }
+        let Some(tag) = tier.inflight.get(&fetch).copied() else {
+            return; // answered (or written off) before the delay expired
+        };
+        if tag.hedged || tier.hedge_pairs.contains_key(&fetch) {
+            return; // never hedge a hedge, never hedge twice
+        }
+        // The pulling stream must still want this segment.
+        let Some((object, kind, fps, class)) = self.sessions.get(&tag.session).and_then(|s| {
+            let class = s.class;
+            s.streams.get(&tag.component).and_then(|tx| {
+                tx.remote
+                    .as_ref()
+                    .filter(|r| r.epoch == tag.epoch)
+                    .map(|r| (r.object.clone(), r.kind, r.frames_per_segment, class))
+            })
+        }) else {
+            return;
+        };
+        let net = api.net();
+        let Some(tier) = self.media.as_mut() else {
+            return;
+        };
+        let candidates: Vec<(NodeId, i64)> = tier
+            .placement
+            .replicas(&object)
+            .iter()
+            .filter(|&&n| n != tag.replica && api.node_is_up(n))
+            .map(|&n| {
+                let prop: i64 = net
+                    .path_links(node, n)
+                    .unwrap_or_default()
+                    .iter()
+                    .filter_map(|(a, b)| net.link(*a, *b))
+                    .map(|l| l.spec.propagation.as_micros())
+                    .sum();
+                let penalty = if tier.cfg.breaker {
+                    tier.health.penalty_micros(n)
+                } else {
+                    0
+                };
+                (n, prop * 2 + penalty)
+            })
+            .collect();
+        let Some(alt) = tier.selector.pick(&candidates) else {
+            return; // single-replica object: nothing to race against
+        };
+        if tier.cfg.breaker && !tier.health.admit(alt, now) {
+            return;
+        }
+        // Hedging pays only when slowness is idiosyncratic to the primary.
+        // If the alternative is observably slow too (a symmetric flash
+        // crowd queues every replica alike), a duplicate fetch would feed
+        // the overload rather than route around it.
+        if tier
+            .health
+            .health(alt)
+            .is_some_and(|h| h.ewma_latency_micros > tier.cfg.pressure_target.as_micros() as f64)
+        {
+            return;
+        }
+        let hedge = tier.next_fetch;
+        tier.next_fetch += 1;
+        tier.selector.fetch_started(alt);
+        tier.inflight.insert(
+            hedge,
+            FetchTag {
+                session: tag.session,
+                component: tag.component,
+                segment: tag.segment,
+                level: tag.level,
+                epoch: tag.epoch,
+                replica: alt,
+                issued_at: now,
+                deadline: tag.deadline,
+                hedged: true,
+            },
+        );
+        tier.hedge_pairs.insert(fetch, hedge);
+        tier.hedge_pairs.insert(hedge, fetch);
+        tier.stats.hedges += 1;
+        api.send_reliable(
+            node,
+            alt,
+            ServiceMsg::MediaFetchRequest {
+                fetch: hedge,
+                server: server_id,
+                kind,
+                object,
+                level: tag.level.0,
+                segment: tag.segment,
+                frames_per_segment: fps,
+                deadline_micros: tag.deadline.as_micros(),
+                class,
+            },
+        );
+    }
+
+    /// Arm the degradation-ladder evaluation chain once a tier with the
+    /// ladder enabled is in place (idempotent; called on session arrival).
+    fn ensure_ladder(&mut self, api: &mut SimApi<'_, ServiceMsg>) {
+        let enabled = self.media.as_ref().map(|t| t.cfg.ladder).unwrap_or(false);
+        if enabled && !self.ladder_armed {
+            self.ladder_armed = true;
+            let period = self.media.as_ref().unwrap().cfg.ladder_period;
+            api.set_timer(self.node, period, timers::TK_LADDER, 0);
+        }
+    }
+
+    /// Periodic degradation-ladder evaluation (timer `TK_LADDER`): under
+    /// sustained fetch pressure walk one victim session one grade level
+    /// down; once pressure has stayed clear for the hysteresis, restore
+    /// one step (LIFO), level by level.
+    fn on_ladder_tick(&mut self, api: &mut SimApi<'_, ServiceMsg>) {
+        let now = api.now();
+        let (enabled, period, hysteresis, overloaded) = match self.media.as_ref() {
+            Some(t) => (
+                t.cfg.ladder,
+                t.cfg.ladder_period,
+                t.cfg.ladder_hysteresis,
+                t.pressure.overloaded(now),
+            ),
+            None => (false, MediaDuration::ZERO, MediaDuration::ZERO, false),
+        };
+        if !enabled {
+            self.ladder_armed = false;
+            return;
+        }
+        if overloaded {
+            self.ladder_last_pressure = now;
+            self.ladder_degrade_step(api);
+        } else if !self.ladder_stack.is_empty() && now - self.ladder_last_pressure >= hysteresis {
+            self.ladder_restore_step(api);
+            // Space successive restores a full hysteresis apart.
+            self.ladder_last_pressure = now;
+        }
+        api.set_timer(self.node, period, timers::TK_LADDER, 0);
+    }
+
+    /// One ladder step down: pick the victim (cheapest pricing class first,
+    /// most recently admitted — LIFO — within the class) and walk each of
+    /// its live continuous streams one grade level lower.
+    fn ladder_degrade_step(&mut self, api: &mut SimApi<'_, ServiceMsg>) {
+        let victim = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| !s.suspended)
+            .filter_map(|(sid, s)| {
+                let degradable = s.streams.values().any(|tx| {
+                    tx.plan.kind.is_continuous()
+                        && !tx.done
+                        && !tx.stopped
+                        && tx.source.level() < tx.source.model().max_level()
+                });
+                degradable.then_some((s.class, std::cmp::Reverse(s.connected_at), *sid))
+            })
+            .min_by_key(|&(class, at, sid)| (class, at, std::cmp::Reverse(sid.raw())))
+            .map(|(_, _, sid)| sid);
+        let Some(sid) = victim else {
+            return; // everyone is already at the bottom of the ladder
+        };
+        let Some(s) = self.sessions.get_mut(&sid) else {
+            return;
+        };
+        let client = s.client;
+        let mut prior: Vec<(ComponentId, GradeLevel)> = Vec::new();
+        let mut regrades: Vec<(ComponentId, GradeLevel)> = Vec::new();
+        for (cid, tx) in s.streams.iter_mut() {
+            if !tx.plan.kind.is_continuous() || tx.done || tx.stopped {
+                continue;
+            }
+            let cur = tx.source.level();
+            if cur >= tx.source.model().max_level() {
+                continue;
+            }
+            let new = GradeLevel(cur.0 + 1);
+            s.qos.force_level(*cid, new);
+            tx.source.set_level(new);
+            // Buffered and in-flight segments were computed at the old
+            // level; re-point the fetch window at the pacer's position.
+            let seq = tx.source.next_seq();
+            if let Some(r) = tx.remote.as_mut() {
+                r.retarget(seq);
+            }
+            prior.push((*cid, cur));
+            regrades.push((*cid, new));
+        }
+        if prior.is_empty() {
+            return;
+        }
+        for &(cid, new) in &regrades {
+            api.send_reliable(
+                self.node,
+                client,
+                ServiceMsg::StreamRegraded {
+                    session: sid,
+                    component: cid,
+                    level: new.0,
+                },
+            );
+        }
+        self.ladder_stack.push(LadderStep {
+            session: sid,
+            prior,
+        });
+        if let Some(tier) = self.media.as_mut() {
+            tier.stats.ladder_degrades += 1;
+        }
+    }
+
+    /// One ladder step back up: restore the most recently degraded session
+    /// to the levels it held before that step.
+    fn ladder_restore_step(&mut self, api: &mut SimApi<'_, ServiceMsg>) {
+        let Some(step) = self.ladder_stack.pop() else {
+            return;
+        };
+        let Some(s) = self.sessions.get_mut(&step.session) else {
+            return; // the victim disconnected meanwhile
+        };
+        let client = s.client;
+        let mut regrades: Vec<(ComponentId, GradeLevel)> = Vec::new();
+        for (cid, level) in step.prior {
+            let Some(tx) = s.streams.get_mut(&cid) else {
+                continue;
+            };
+            if tx.done || tx.stopped {
+                continue;
+            }
+            s.qos.force_level(cid, level);
+            tx.source.set_level(level);
+            let seq = tx.source.next_seq();
+            if let Some(r) = tx.remote.as_mut() {
+                r.retarget(seq);
+            }
+            regrades.push((cid, level));
+        }
+        for &(cid, level) in &regrades {
+            api.send_reliable(
+                self.node,
+                client,
+                ServiceMsg::StreamRegraded {
+                    session: step.session,
+                    component: cid,
+                    level: level.0,
+                },
+            );
+        }
+        if let Some(tier) = self.media.as_mut() {
+            tier.stats.ladder_restores += 1;
+        }
+    }
+
     /// A media node crashed or restarted. Fetches outstanding to it will
     /// never complete; every stream pulling from it drops its in-flight
     /// window and re-points at the best live replica — the stateless fetch
@@ -1834,7 +2508,25 @@ impl ServerActor {
             return;
         };
         tier.selector.clear_outstanding(media_node);
-        tier.inflight.retain(|_, tag| tag.replica != media_node);
+        // A new incarnation is a new server: forget the old one's health
+        // score and breaker state along with the load estimate (its trips
+        // stay in the cumulative totals).
+        tier.health.reset(media_node);
+        let lost: Vec<u64> = tier
+            .inflight
+            .iter()
+            .filter(|(_, tag)| tag.replica == media_node)
+            .map(|(f, _)| *f)
+            .collect();
+        tier.stats.fetches_lost += lost.len() as u64;
+        for f in lost {
+            tier.inflight.remove(&f);
+            // A written-off half of a hedge race leaves the survivor
+            // racing nobody; it completes (or fails) on its own.
+            if let Some(p) = tier.hedge_pairs.remove(&f) {
+                tier.hedge_pairs.remove(&p);
+            }
+        }
         let mut affected: Vec<(SessionId, ComponentId)> = Vec::new();
         for (sid, s) in self.sessions.iter_mut() {
             for (cid, tx) in s.streams.iter_mut() {

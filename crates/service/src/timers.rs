@@ -12,6 +12,11 @@ pub const TK_GRACE: u64 = 3;
 pub const TK_DISCRETE: u64 = 4;
 /// Server: emit the next per-session liveness heartbeat.
 pub const TK_HEARTBEAT: u64 = 5;
+/// Server: periodic degradation-ladder evaluation (queue-pressure check).
+pub const TK_LADDER: u64 = 6;
+/// Server: hedge delay expired for a media fetch (payload = fetch id) —
+/// issue the duplicate to the next-best replica if still unanswered.
+pub const TK_HEDGE: u64 = 7;
 /// Client: periodic feedback report.
 pub const TK_FEEDBACK: u64 = 10;
 /// Client: playout tick.
@@ -23,6 +28,11 @@ pub const TK_PRIME: u64 = 12;
 pub const TK_RETRY: u64 = 13;
 /// Client: liveness check — has the server been heard from recently?
 pub const TK_LIVENESS: u64 = 14;
+/// Media node: service of the fetch at the head of the queue completes.
+pub const TK_MEDIA_SVC: u64 = 15;
+/// Server: paced re-pump of a stream whose fetch was shed by an overloaded
+/// media node (payload = packed session/component).
+pub const TK_REPUMP: u64 = 16;
 
 /// Pack a (session, component) pair into one timer payload.
 pub fn pack(session: SessionId, component: ComponentId) -> u64 {

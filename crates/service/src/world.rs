@@ -95,6 +95,33 @@ impl ServiceWorld {
         }
     }
 
+    /// Debug-build conservation audit over media transport parts: every
+    /// part a media node put on the wire must either have been received by
+    /// a multimedia server or died with an *accounted* fault (engine
+    /// `fault_drops` — stale-incarnation deliveries, torn-down reliable
+    /// holds — or exhausted retransmission budgets). Call after a run has
+    /// drained; any imbalance beyond the fault ledger is accounting drift.
+    pub fn audit_media_parts(&self, stats: &hermes_simnet::SimStats) {
+        let sent: u64 = self.media_nodes.values().map(|m| m.stats.parts_sent).sum();
+        let received: u64 = self
+            .servers
+            .values()
+            .filter_map(|s| s.media.as_ref())
+            .map(|t| t.stats.parts_received)
+            .sum();
+        debug_assert!(
+            received <= sent,
+            "servers received {received} media parts but only {sent} were sent"
+        );
+        debug_assert!(
+            sent - received <= stats.fault_drops + stats.reliable_failures,
+            "media parts leaked: sent {sent}, received {received}, \
+             but only {} fault drops + {} reliable failures can explain losses",
+            stats.fault_drops,
+            stats.reliable_failures
+        );
+    }
+
     /// Replicate freshly processed subscription forms to every server's
     /// user database ("this form is transmitted to every server of the
     /// service", §5).
@@ -142,6 +169,8 @@ impl App<ServiceMsg> for ServiceWorld {
             }
         } else if let Some(client) = self.clients.get_mut(&node) {
             client.on_timer(api, key, payload);
+        } else if let Some(media) = self.media_nodes.get_mut(&node) {
+            media.on_timer(api, key, payload);
         }
     }
 
@@ -168,6 +197,18 @@ impl App<ServiceMsg> for ServiceWorld {
             FaultKind::NodeRestart { node } if self.media_nodes.contains_key(&node) => {
                 for server in self.servers.values_mut() {
                     server.on_media_node_event(api, node);
+                }
+            }
+            // A brownout inflates the media node's service times; the
+            // engine keeps delivering, so only breakers and hedging notice.
+            FaultKind::NodeSlow { node, factor } => {
+                if let Some(media) = self.media_nodes.get_mut(&node) {
+                    media.set_slowdown(factor);
+                }
+            }
+            FaultKind::NodeNominal { node } => {
+                if let Some(media) = self.media_nodes.get_mut(&node) {
+                    media.set_slowdown(1);
                 }
             }
             _ => {}

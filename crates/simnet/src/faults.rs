@@ -56,6 +56,21 @@ pub enum FaultKind {
         /// The other endpoint.
         b: NodeId,
     },
+    /// The node stays alive but serves `factor`× slower (a brownout:
+    /// overloaded CPU, thrashing disk). The engine itself delivers and fires
+    /// timers normally; the *application* is told and inflates its service
+    /// times, so breakers and hedging — not the transport — must cover it.
+    NodeSlow {
+        /// The slowed node.
+        node: NodeId,
+        /// Service-time multiplier (≥ 1).
+        factor: u32,
+    },
+    /// The node returns to nominal service speed (ends a `NodeSlow`).
+    NodeNominal {
+        /// The recovering node.
+        node: NodeId,
+    },
 }
 
 /// A fault scheduled at an absolute simulation instant.
@@ -104,6 +119,24 @@ impl FaultPlan {
     pub fn partition(self, a: NodeId, b: NodeId, from: MediaTime, until: MediaTime) -> Self {
         self.at(from, FaultKind::LinkDown { a, b })
             .at(until, FaultKind::LinkUp { a, b })
+    }
+
+    /// Slow `node` down by `factor`× starting at `at` (no recovery).
+    pub fn slow(self, node: NodeId, at: MediaTime, factor: u32) -> Self {
+        self.at(at, FaultKind::NodeSlow { node, factor })
+    }
+
+    /// Brownout: slow `node` by `factor`× during `[at, at + lasting)`, then
+    /// return it to nominal speed — alive throughout, never crashed.
+    pub fn brownout(
+        self,
+        node: NodeId,
+        at: MediaTime,
+        lasting: MediaDuration,
+        factor: u32,
+    ) -> Self {
+        self.slow(node, at, factor)
+            .at(at + lasting, FaultKind::NodeNominal { node })
     }
 
     /// Flap the `a`–`b` link: starting at `start`, `cycles` periods of
@@ -215,6 +248,27 @@ mod tests {
         for (b, j) in base.events().iter().zip(j1.events()) {
             assert!(j.at >= b.at && j.at < b.at + MediaDuration::from_millis(500));
         }
+    }
+
+    #[test]
+    fn brownout_expands_to_slow_then_nominal() {
+        let plan = FaultPlan::new().brownout(
+            n(3),
+            MediaTime::from_secs(2),
+            MediaDuration::from_secs(5),
+            8,
+        );
+        let evs = plan.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(
+            evs[0].kind,
+            FaultKind::NodeSlow {
+                node: n(3),
+                factor: 8
+            }
+        );
+        assert_eq!(evs[1].at, MediaTime::from_secs(7));
+        assert_eq!(evs[1].kind, FaultKind::NodeNominal { node: n(3) });
     }
 
     #[test]

@@ -275,7 +275,13 @@ impl<M: WireSize + Clone> Core<M> {
             let tx = self.reliable_tx.get(&pair).copied().unwrap_or(0);
             let rx = self.reliable_rx.entry(pair).or_insert(0);
             *rx = (*rx).max(tx);
-            self.reliable_hold.remove(&pair);
+            // Segments already delivered to the transport but parked behind
+            // the in-order gate die with the connection: account them as
+            // fault drops so conservation audits (sent = delivered + dropped
+            // + fault_drops) keep balancing across crashes.
+            if let Some(held) = self.reliable_hold.remove(&pair) {
+                self.stats.fault_drops += held.len() as u64;
+            }
             self.reliable_dead.remove(&pair);
         }
     }
@@ -297,6 +303,11 @@ impl<M: WireSize + Clone> Core<M> {
             }
             FaultKind::LinkUp { a, b } => {
                 self.net.set_link_up(a, b, true);
+            }
+            FaultKind::NodeSlow { .. } | FaultKind::NodeNominal { .. } => {
+                // Brownouts change no engine state: the node keeps receiving
+                // and its timers keep firing. The application layer sees the
+                // fault via `App::on_fault` and inflates its service times.
             }
         }
     }
@@ -1130,6 +1141,61 @@ mod tests {
         assert!(sim.app().got.is_empty(), "dead node received a message");
         assert!(sim.app().timers.is_empty(), "dead node's timer fired");
         assert!(sim.stats().fault_drops > 0);
+    }
+
+    #[test]
+    fn crash_accounts_segments_held_by_the_inorder_gate() {
+        // Under loss, later reliable segments arrive while an earlier one is
+        // still being retransmitted and wait in the in-order hold. A crash
+        // tears the channel down; the held segments must be counted as
+        // fault drops, not silently vanish from the conservation ledger.
+        let mut sim = Sim::new(
+            two_node_net_seeded(LossModel::Bernoulli { p: 0.5 }, 3),
+            Recorder::default(),
+            3,
+        );
+        sim.with_api(|_, api| {
+            for i in 0..10 {
+                api.send_reliable(n(0), n(1), Msg(format!("m{i}"), 300));
+            }
+        });
+        // Crash before the first retransmission timer (RTO 200 ms) so the
+        // hold is still populated, then look at the ledger right away.
+        sim.inject_fault(
+            MediaTime::from_millis(10),
+            FaultKind::NodeCrash { node: n(1) },
+        );
+        sim.run_until(MediaTime::from_millis(10));
+        let delivered = sim.app().got.len() as u64;
+        assert!(delivered < 10, "loss draw left nothing in the hold");
+        assert!(
+            sim.stats().fault_drops > 0,
+            "held segments were discarded without accounting"
+        );
+    }
+
+    #[test]
+    fn node_slow_changes_no_engine_state() {
+        let mut sim = Sim::new(two_node_net(LossModel::None), Recorder::default(), 21);
+        sim.inject_fault(
+            MediaTime::from_millis(5),
+            FaultKind::NodeSlow {
+                node: n(1),
+                factor: 10,
+            },
+        );
+        sim.with_api(|_, api| {
+            api.send_reliable(n(0), n(1), Msg("through".into(), 100));
+            api.set_timer(n(1), MediaDuration::from_millis(20), 1, 0);
+        });
+        sim.run(1_000);
+        // The node is alive: delivery and timers proceed; only the app-level
+        // service model (not the engine) slows down.
+        assert!(sim.node_is_up(n(1)));
+        assert_eq!(sim.app().got.len(), 1);
+        assert_eq!(sim.app().timers.len(), 1);
+        assert_eq!(sim.stats().faults_applied, 1);
+        assert_eq!(sim.stats().fault_drops, 0);
     }
 
     #[test]

@@ -10,7 +10,7 @@ OUT = "/tmp/expout"
 EXPERIMENTS = ["exp_tab1","exp_fig1","exp_fig2","exp_fig3","exp_fig4","exp_fig5",
                "exp_skew","exp_window","exp_grade","exp_admit","exp_search",
                "exp_migrate","exp_ablate","exp_concur","exp_faults",
-               "exp_placement","exp_scale"]
+               "exp_overload","exp_placement","exp_scale"]
 
 def run_all():
     os.makedirs(OUT, exist_ok=True)
@@ -371,6 +371,47 @@ off (3134 → 1375 MB) with sub-second startup — egress flattens as skew
 grows because more arrivals land on hot titles whose groups already
 stream. Multicast frame copies ride one trunk serialization each
 (`mcast` column), which is exactly the saving.
+
+---
+
+## EXP-OVERLOAD — flash-crowd overload resilience (`exp_overload`)
+
+**Paper gap:** the paper sizes its media servers for a planned audience
+(§6.1) but says nothing about what happens when demand spikes past that
+plan — the regime where every real on-demand service eventually lives.
+**Measured:** an open-loop Poisson arrival process over a Zipf(1.1) clip
+catalog drives a 90-client pool against one server backed by a
+deliberately tight two-node media tier (24-deep service queues,
+1 ms + 300 ms/MiB disks, no segment cache, no stream sharing). At 8 s the
+arrival rate multiplies by 3.5× — permanently (`step`) or for a 10 s
+window (`spike`) — and the sweep crosses pattern × overload mode: all
+off, breaker+hedging, breaker+ladder, or the full stack.
+
+```""")
+    A(grab("exp_overload", start="== EXP-OVERLOAD"))
+    A("""```
+
+**Finding.** With everything off the crowd saturates the tier and playout
+falls apart: a quarter of all frames glitch (257 gaps/kframe on the step
+crowd) and the worst sessions spend more time stalled than playing
+(P99 ≈ 1.45 gaps *per frame*), while naive immediate-retry turns ~17 M
+shed fetches into pure message churn. Each control recovers a different
+share: hedging alone reroutes the latency tail (−32% gaps) but cannot
+create capacity; the ladder alone *does* create capacity (Q1→Q3 cuts
+tier bytes ~2.5×, −45% gaps) at the price of picture quality; the full
+stack composes them — **3.3× fewer playout gaps than the baseline on the
+step crowd, 2.6× on the spike** — while paced surgical retries cut shed
+churn ~3×. Breaker trips stay at zero by design: a symmetric flash crowd
+makes every replica equally slow, and tripping on shared queueing would
+only amplify the collapse (the brownout tests in
+`crates/service/tests/overload.rs` cover the asymmetric case where the
+breaker *does* fire). Note the step and spike rows coincide for the
+modes that pin the client pool: once every slot is busy, late arrivals
+are turned away either way and the served set — hence the tier dynamics
+— is identical; the crowd's *shape* stops mattering once admission, not
+serving, is the bottleneck. CI re-runs the smoke grid twice and diffs
+the output: every number above — including hedge races, which are
+resolved by simulated time — is deterministic.
 
 ---
 
