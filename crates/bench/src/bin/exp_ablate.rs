@@ -6,8 +6,9 @@
 //! 2. skew-repair policy: drop-leader vs duplicate-laggard vs both;
 //! 3. feedback-report interval sensitivity.
 
-use hermes_bench::harness::{max_dur_of, mean_of, run_seeds};
+use hermes_bench::harness::run_seeds;
 use hermes_bench::{fmt_dur_ms, ExpOpts, StreamingParams, Table};
+use hermes_bench::{max_dur_of, mean_of};
 use hermes_client::PlayoutConfig;
 use hermes_core::{GradingOrder, MediaDuration, MediaTime, SkewPolicy};
 use hermes_simnet::{CongestionEpoch, CongestionProfile, JitterModel, LossModel};

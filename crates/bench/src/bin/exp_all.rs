@@ -23,16 +23,18 @@ const EXPERIMENTS: &[&str] = &[
     "exp_overload",
     "exp_placement",
     "exp_scale",
+    "exp_obs",
 ];
 
 fn main() {
     let opts = ExpOpts::parse();
+    let mut sink = opts.sink();
     let forwarded = opts.forwarded_args();
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
     let mut failed = Vec::new();
     for name in EXPERIMENTS {
-        println!("\n################ {name} ################");
+        sink.line(&format!("\n################ {name} ################"));
         let status = Command::new(dir.join(name))
             .args(&forwarded)
             .status()
@@ -41,11 +43,11 @@ fn main() {
             failed.push(*name);
         }
     }
-    println!("\n################ summary ################");
+    sink.line("\n################ summary ################");
     if failed.is_empty() {
-        println!("all {} experiments passed ✓", EXPERIMENTS.len());
+        sink.line(&format!("all {} experiments passed ✓", EXPERIMENTS.len()));
     } else {
-        println!("FAILED: {failed:?}");
+        sink.line(&format!("FAILED: {failed:?}"));
         std::process::exit(1);
     }
 }

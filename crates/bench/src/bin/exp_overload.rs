@@ -17,7 +17,7 @@
 //! `--smoke` runs a reduced grid (spike only, off vs full, two seeds) for
 //! the CI determinism gate; `--seed`/`--out` as in every experiment binary.
 
-use hermes_bench::{Arrival, ExpOpts, Table, ZipfCatalog};
+use hermes_bench::{percentile, Arrival, ExpOpts, Table, ZipfCatalog};
 use hermes_core::{MediaDuration, MediaTime, NodeId, ServerId};
 use hermes_server::{SharingMode, SharingPolicy};
 use hermes_service::{
@@ -189,14 +189,6 @@ struct Point {
     fetch_p99_ms: f64,
 }
 
-fn percentile(samples: &mut [f64], q: f64) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
-    }
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    samples[((samples.len() - 1) as f64 * q).round() as usize]
-}
-
 fn run_point(seed: u64, pattern: Pattern, mode: Mode, g: &Grid) -> Point {
     let mut b = WorldBuilder::new(seed);
     let mut cfg = ServerConfig::default();
@@ -317,7 +309,7 @@ fn run_point(seed: u64, pattern: Pattern, mode: Mode, g: &Grid) -> Point {
     if frames > 0 {
         p.gap_per_kframe = glitches as f64 * 1_000.0 / frames as f64;
     }
-    p.gap_p99 = percentile(&mut session_gaps, 0.99);
+    p.gap_p99 = percentile(&session_gaps, 0.99);
     let server = sim.app().server(srv);
     let tier = server.media.as_ref().expect("media tier not deployed");
     p.shed = tier.stats.busy;

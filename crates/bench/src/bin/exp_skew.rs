@@ -6,8 +6,9 @@
 //! enforcement) on vs. off, and report max A/V skew, glitches and repairs.
 //! Each point is averaged over three seeds; points run in parallel.
 
-use hermes_bench::harness::{max_dur_of, mean_of, run_seeds};
+use hermes_bench::harness::run_seeds;
 use hermes_bench::{fmt_dur_ms, ExpOpts, StreamingParams, Table};
+use hermes_bench::{max_dur_of, mean_of};
 use hermes_client::PlayoutConfig;
 use hermes_core::{MediaDuration, MediaTime};
 use hermes_simnet::{CongestionEpoch, CongestionProfile, JitterModel, LossModel};

@@ -7,7 +7,8 @@
 //! report startup delay and presentation disruptions (duplicates played +
 //! glitches + late-dropped frames). Averaged over three seeds per point.
 
-use hermes_bench::harness::{mean_of, run_seeds};
+use hermes_bench::harness::run_seeds;
+use hermes_bench::mean_of;
 use hermes_bench::{ExpOpts, StreamingParams, Table};
 use hermes_core::{MediaDuration, MediaTime};
 use hermes_simnet::{CongestionEpoch, CongestionProfile};

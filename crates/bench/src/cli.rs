@@ -1,13 +1,16 @@
 //! Tiny shared argument parsing for the `exp_*` binaries.
 //!
-//! Every experiment accepts the same three flags, so CI and local sweeps
-//! can vary them without editing constants:
+//! Every experiment accepts the same flags, so CI and local sweeps can
+//! vary them without editing constants:
 //!
 //! - `--seed N` — override the experiment's base RNG seed,
 //! - `--out PATH` — additionally write every caption/table/comment line
 //!   to `PATH` (stdout is unaffected),
 //! - `--smoke` — run a reduced grid where the experiment supports one
-//!   (used by the CI determinism gate).
+//!   (used by the CI determinism gate),
+//! - `--trace PATH` — where experiments that export observability traces
+//!   (EXP-OBS) write them: `PATH.jsonl` (event log) and `PATH.trace.json`
+//!   (Chrome trace-event / Perfetto).
 //!
 //! No external crates: flag parsing is a few lines and the binaries need
 //! nothing fancier.
@@ -26,6 +29,9 @@ pub struct ExpOpts {
     pub out: Option<PathBuf>,
     /// `--smoke`: reduced grid for CI.
     pub smoke: bool,
+    /// `--trace PATH`: trace-export path prefix (experiments that export
+    /// observability traces write `PATH.jsonl` and `PATH.trace.json`).
+    pub trace: Option<PathBuf>,
 }
 
 impl ExpOpts {
@@ -35,7 +41,11 @@ impl ExpOpts {
         match Self::from_args(std::env::args().skip(1)) {
             Ok(o) => o,
             Err(e) => {
-                eprintln!("{e}\nusage: [--seed N] [--out PATH] [--smoke]");
+                let mut err = std::io::stderr().lock();
+                let _ = writeln!(
+                    err,
+                    "{e}\nusage: [--seed N] [--out PATH] [--smoke] [--trace PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -57,6 +67,10 @@ impl ExpOpts {
                     opts.out = Some(PathBuf::from(v));
                 }
                 "--smoke" => opts.smoke = true,
+                "--trace" => {
+                    let v = it.next().ok_or("--trace needs a path")?;
+                    opts.trace = Some(PathBuf::from(v));
+                }
                 other => return Err(format!("unknown argument {other:?}")),
             }
         }
@@ -83,7 +97,8 @@ impl ExpOpts {
     }
 
     /// The flags to forward to a child experiment process (everything
-    /// except `--out`, which must stay per-process to avoid clobbering).
+    /// except `--out` and `--trace`, which must stay per-process to avoid
+    /// clobbering).
     pub fn forwarded_args(&self) -> Vec<String> {
         let mut v = Vec::new();
         if let Some(s) = self.seed {
@@ -140,11 +155,21 @@ mod tests {
 
     #[test]
     fn parses_all_flags() {
-        let o = ExpOpts::from_args(args(&["--seed", "9", "--out", "/tmp/x", "--smoke"])).unwrap();
+        let o = ExpOpts::from_args(args(&[
+            "--seed", "9", "--out", "/tmp/x", "--smoke", "--trace", "/tmp/t",
+        ]))
+        .unwrap();
         assert_eq!(o.seed, Some(9));
         assert_eq!(o.out.as_deref(), Some(Path::new("/tmp/x")));
         assert!(o.smoke);
+        assert_eq!(o.trace.as_deref(), Some(Path::new("/tmp/t")));
+        // `--out`/`--trace` stay per-process; only seed and smoke forward.
         assert_eq!(o.forwarded_args(), args(&["--seed", "9", "--smoke"]));
+    }
+
+    #[test]
+    fn trace_needs_a_path() {
+        assert!(ExpOpts::from_args(args(&["--trace"])).is_err());
     }
 
     #[test]

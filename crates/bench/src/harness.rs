@@ -117,6 +117,13 @@ pub fn standard_lesson(clip_secs: i64) -> LessonShape {
 
 /// Run one streaming session with the given parameters and extract metrics.
 pub fn run_streaming_session(p: &StreamingParams) -> StreamingMetrics {
+    run_streaming_session_inner(p, true).0
+}
+
+fn run_streaming_session_inner(
+    p: &StreamingParams,
+    trace_enabled: bool,
+) -> (StreamingMetrics, Sim<ServiceMsg, ServiceWorld>) {
     let mut b = WorldBuilder::new(p.seed);
     let mut server_cfg = ServerConfig::default();
     server_cfg.flow.media_time_window = p.time_window;
@@ -146,6 +153,7 @@ pub fn run_streaming_session(p: &StreamingParams) -> StreamingMetrics {
     let client = b.add_client(access, client_cfg);
 
     let mut sim: Sim<ServiceMsg, ServiceWorld> = b.build(p.seed);
+    sim.obs_mut().set_enabled(trace_enabled);
     let mut rng = SimRng::seed_from_u64(p.seed.wrapping_mul(0x9E37_79B9));
     let lessons = install_course(
         sim.app_mut().server_mut(server),
@@ -195,7 +203,7 @@ pub fn run_streaming_session(p: &StreamingParams) -> StreamingMetrics {
     let net = sim.net().total_stats();
     m.net_dropped = net.packets_lost + net.packets_dropped_queue;
     m.net_packets = net.packets_sent;
-    m
+    (m, sim)
 }
 
 /// Run the same parameter point over several seeds in parallel (crossbeam
@@ -215,23 +223,19 @@ pub fn run_seeds(base: &StreamingParams, seeds: &[u64]) -> Vec<StreamingMetrics>
     out.into_iter().map(|m| m.unwrap()).collect()
 }
 
-/// Mean of a metric over runs.
-pub fn mean_of(metrics: &[StreamingMetrics], f: impl Fn(&StreamingMetrics) -> f64) -> f64 {
-    if metrics.is_empty() {
-        return 0.0;
-    }
-    metrics.iter().map(f).sum::<f64>() / metrics.len() as f64
-}
-
-/// Max of a duration metric over runs.
-pub fn max_dur_of(
-    metrics: &[StreamingMetrics],
-    f: impl Fn(&StreamingMetrics) -> MediaDuration,
-) -> MediaDuration {
-    metrics
-        .iter()
-        .map(f)
-        .fold(MediaDuration::ZERO, |a, b| a.max(b))
+/// Run one streaming session and hand back the observability capture along
+/// with the metrics: the engine + actor counters are published into the
+/// capture's registry before it is detached. `enabled` drives the runtime
+/// trace toggle (the overhead benchmark's control knob).
+pub fn run_streaming_session_traced(
+    p: &StreamingParams,
+    enabled: bool,
+) -> (StreamingMetrics, hermes_simnet::Obs) {
+    let (m, mut sim) = run_streaming_session_inner(p, enabled);
+    sim.publish_metrics();
+    let mut obs = sim.take_obs();
+    sim.app().publish_metrics(&mut obs);
+    (m, obs)
 }
 
 #[cfg(test)]

@@ -55,10 +55,13 @@ impl Table {
     }
 }
 
-/// Print a table with a caption.
+/// Print a table with a caption to stdout via a throwaway [`Sink`] (the
+/// binaries that tee into `--out` call [`Sink::table`] directly).
+///
+/// [`Sink`]: crate::cli::Sink
+/// [`Sink::table`]: crate::cli::Sink::table
 pub fn print_table(caption: &str, table: &Table) {
-    println!("\n== {caption} ==");
-    println!("{}", table.render());
+    crate::cli::Sink::new(None).table(caption, table);
 }
 
 /// Milliseconds with one decimal, for experiment tables.

@@ -1,0 +1,162 @@
+//! Structured trace events: fixed-shape, allocation-free records stamped
+//! with sim-time.
+//!
+//! An [`Event`] is `Copy`: the name is a `&'static str`, the label set is a
+//! fixed struct of optional ids, and the payload is a single `i64`. Emitting
+//! one on the hot path costs a couple of field writes and a `Vec` push —
+//! nothing is formatted or heap-allocated until an exporter runs.
+
+use hermes_core::MediaTime;
+
+/// Event severity. `Debug` events are retained only in the per-node flight
+/// ring (they are the high-frequency context a crash dump wants); `Info` and
+/// above also land in the main trace log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// High-frequency context (per-tick buffer occupancy, per-segment
+    /// progress). Flight-ring only.
+    Debug,
+    /// Lifecycle progress (session connect, playout start, regrades).
+    Info,
+    /// Degraded-but-recoverable conditions (playout gap, ladder step).
+    Warn,
+    /// Failures (breaker trip, session abandonment, media failover).
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used by the exporters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Debug => "debug",
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// The fixed label set every event and metric key carries. All fields are
+/// optional raw ids; absent labels are omitted by the exporters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Labels {
+    /// Session the event belongs to.
+    pub session: Option<u64>,
+    /// Stream / component within the session.
+    pub stream: Option<u64>,
+    /// The *other* node involved (media replica, client, peer).
+    pub peer: Option<u64>,
+    /// Media segment index.
+    pub segment: Option<u64>,
+}
+
+impl Labels {
+    /// The empty label set.
+    pub const NONE: Labels = Labels {
+        session: None,
+        stream: None,
+        peer: None,
+        segment: None,
+    };
+
+    /// Label set with just a session id.
+    pub fn session(id: u64) -> Labels {
+        Labels {
+            session: Some(id),
+            ..Labels::NONE
+        }
+    }
+    /// Add a stream/component id.
+    pub fn stream(mut self, id: u64) -> Labels {
+        self.stream = Some(id);
+        self
+    }
+    /// Add a peer-node id.
+    pub fn peer(mut self, id: u64) -> Labels {
+        self.peer = Some(id);
+        self
+    }
+    /// Add a segment index.
+    pub fn segment(mut self, id: u64) -> Labels {
+        self.segment = Some(id);
+        self
+    }
+    /// Label set with just a peer-node id.
+    pub fn for_peer(id: u64) -> Labels {
+        Labels {
+            peer: Some(id),
+            ..Labels::NONE
+        }
+    }
+
+    /// Render as `{k=v,...}` (empty string when no label is set) — the
+    /// canonical deterministic form shared by every exporter.
+    pub fn render(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(v) = self.session {
+            parts.push(format!("session={v}"));
+        }
+        if let Some(v) = self.stream {
+            parts.push(format!("stream={v}"));
+        }
+        if let Some(v) = self.peer {
+            parts.push(format!("peer={v}"));
+        }
+        if let Some(v) = self.segment {
+            parts.push(format!("segment={v}"));
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", parts.join(","))
+        }
+    }
+}
+
+/// One trace record. `seq` is a global monotone counter assigned at emit
+/// time, so events from different nodes at the same sim-time tick always
+/// merge in one deterministic order: `(at, seq)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Sim-time stamp.
+    pub at: MediaTime,
+    /// Global emit order (tie-break within a tick).
+    pub seq: u64,
+    /// Raw id of the emitting node.
+    pub node: u64,
+    /// Severity class.
+    pub severity: Severity,
+    /// Static event name (`snake_case`).
+    pub name: &'static str,
+    /// Label set.
+    pub labels: Labels,
+    /// Free payload (occupancy micros, grade level, gap count, …).
+    pub value: i64,
+}
+
+impl Event {
+    /// The deterministic merge key.
+    pub fn sort_key(&self) -> (MediaTime, u64) {
+        (self.at, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Debug < Severity::Info);
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+    }
+
+    #[test]
+    fn labels_render_deterministically() {
+        assert_eq!(Labels::NONE.render(), "");
+        let l = Labels::session(3).stream(1).peer(9).segment(42);
+        assert_eq!(l.render(), "{session=3,stream=1,peer=9,segment=42}");
+        assert_eq!(Labels::for_peer(7).render(), "{peer=7}");
+    }
+}

@@ -1,0 +1,270 @@
+//! Exporters over a finished [`Obs`] capture: JSONL event dump,
+//! Chrome trace-event JSON (loadable in Perfetto / `chrome://tracing`), a
+//! per-session timeline text renderer, and a flight-recorder report.
+//!
+//! All output is hand-rolled and fully deterministic: names are static
+//! identifiers, labels render in a fixed field order and records are sorted
+//! by the `(sim-time, seq)` merge key — two identical runs produce
+//! byte-identical files (the CI determinism gate diffs them).
+
+use crate::event::Event;
+use crate::span::SpanId;
+use crate::Obs;
+use hermes_core::MediaTime;
+
+fn push_label_json(out: &mut String, key: &str, v: Option<u64>) {
+    if let Some(v) = v {
+        out.push_str(&format!(",\"{key}\":{v}"));
+    }
+}
+
+/// One event per line, `(at, seq)`-ordered, as compact JSON objects.
+pub fn events_jsonl(obs: &Obs) -> String {
+    let mut out = String::new();
+    for ev in obs.events() {
+        out.push_str(&event_json(ev));
+        out.push('\n');
+    }
+    out
+}
+
+fn event_json(ev: &Event) -> String {
+    let mut s = format!(
+        "{{\"at\":{},\"seq\":{},\"node\":{},\"sev\":\"{}\",\"name\":\"{}\"",
+        ev.at.as_micros(),
+        ev.seq,
+        ev.node,
+        ev.severity.as_str(),
+        ev.name,
+    );
+    push_label_json(&mut s, "session", ev.labels.session);
+    push_label_json(&mut s, "stream", ev.labels.stream);
+    push_label_json(&mut s, "peer", ev.labels.peer);
+    push_label_json(&mut s, "segment", ev.labels.segment);
+    s.push_str(&format!(",\"value\":{}}}", ev.value));
+    s
+}
+
+/// Chrome trace-event JSON: spans as `ph:"X"` complete events (track =
+/// node pid / session tid) and logged events as `ph:"i"` instants. Open
+/// spans are closed at `trace_end` so a run cut off by the horizon still
+/// renders. Load the file in <https://ui.perfetto.dev> or
+/// `chrome://tracing`.
+pub fn chrome_trace(obs: &Obs, trace_end: MediaTime) -> String {
+    let mut records: Vec<String> = Vec::new();
+    for sp in obs.spans.all() {
+        let end = sp.end.unwrap_or(trace_end).max(sp.start);
+        let mut args = format!("\"span_id\":{}", sp.id.0);
+        if !sp.parent.is_none() {
+            args.push_str(&format!(",\"parent\":{}", sp.parent.0));
+        }
+        records.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"args\":{{{}}}}}",
+            sp.name,
+            sp.start.as_micros(),
+            (end - sp.start).as_micros(),
+            sp.node,
+            sp.labels.session.unwrap_or(0),
+            args,
+        ));
+    }
+    for ev in obs.events() {
+        records.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{},\"tid\":{},\"args\":{{\"value\":{}}}}}",
+            ev.name,
+            ev.severity.as_str(),
+            ev.at.as_micros(),
+            ev.node,
+            ev.labels.session.unwrap_or(0),
+            ev.value,
+        ));
+    }
+    format!("{{\"traceEvents\":[\n{}\n]}}\n", records.join(",\n"))
+}
+
+fn fmt_ms(t: MediaTime) -> String {
+    format!("{:>10.3}ms", t.as_micros() as f64 / 1000.0)
+}
+
+/// Human-readable timeline of one session: its spans (indented by nesting
+/// depth, start-ordered) followed by its events in merge order.
+pub fn session_timeline(obs: &Obs, session: u64) -> String {
+    let mut out = format!("timeline for session {session}\n");
+    let mut spans: Vec<(usize, &crate::span::Span)> = obs
+        .spans
+        .for_session(session)
+        .into_iter()
+        .map(|s| (obs.spans.depth(s.id), s))
+        .collect();
+    spans.sort_by_key(|(_, s)| (s.start, s.id));
+    for (depth, s) in spans {
+        let end = match s.end {
+            Some(e) => fmt_ms(e),
+            None => format!("{:>12}", "(open)"),
+        };
+        out.push_str(&format!(
+            "[{} → {}] {}{}\n",
+            fmt_ms(s.start),
+            end,
+            "  ".repeat(depth),
+            s.name,
+        ));
+    }
+    let mut evs: Vec<&Event> = obs
+        .events()
+        .iter()
+        .filter(|e| e.labels.session == Some(session))
+        .collect();
+    evs.sort_by_key(|e| e.sort_key());
+    for e in evs {
+        out.push_str(&format!(
+            "  @{}  {:5}  {}{}  value={}\n",
+            fmt_ms(e.at),
+            e.severity.as_str(),
+            e.name,
+            e.labels.render(),
+            e.value,
+        ));
+    }
+    out
+}
+
+/// Text report of every flight-recorder dump: trigger line plus the
+/// preceding event window, oldest first.
+pub fn flight_report(obs: &Obs) -> String {
+    let mut out = String::new();
+    for d in obs.flight.dumps() {
+        out.push_str(&format!(
+            "flight dump @{} node={} reason={}{} ({} events)\n",
+            fmt_ms(d.at),
+            d.node,
+            d.reason,
+            d.labels.render(),
+            d.events.len(),
+        ));
+        for e in &d.events {
+            out.push_str(&format!(
+                "    @{}  {:5}  {}{}  value={}\n",
+                fmt_ms(e.at),
+                e.severity.as_str(),
+                e.name,
+                e.labels.render(),
+                e.value,
+            ));
+        }
+    }
+    if obs.flight.suppressed > 0 {
+        out.push_str(&format!(
+            "({} further anomalies past the dump cap)\n",
+            obs.flight.suppressed
+        ));
+    }
+    out
+}
+
+/// True when `id` names a span usable as a parent (non-null). Convenience
+/// for instrumentation sites that cache span handles.
+pub fn span_is_live(id: SpanId) -> bool {
+    !id.is_none()
+}
+
+// Exporter tests exercise live recording, so they need the feature on.
+#[cfg(all(test, feature = "trace"))]
+mod tests {
+    use super::*;
+    use crate::event::{Labels, Severity};
+    use crate::span::SpanId;
+
+    fn sample_obs() -> Obs {
+        let mut obs = Obs::new();
+        let root = obs.session_span(3, 1, MediaTime::from_millis(5));
+        let pre = obs.span_start(
+            MediaTime::from_millis(10),
+            2,
+            "prefill",
+            Labels::session(3),
+            root,
+        );
+        obs.span_end(pre, MediaTime::from_millis(30));
+        obs.span_start(
+            MediaTime::from_millis(30),
+            2,
+            "playout",
+            Labels::session(3),
+            root,
+        );
+        obs.emit(
+            MediaTime::from_millis(12),
+            2,
+            Severity::Debug,
+            "buffer_occupancy",
+            Labels::session(3).stream(1),
+        );
+        obs.emit_val(
+            MediaTime::from_millis(40),
+            2,
+            Severity::Warn,
+            "playout_gap",
+            Labels::session(3),
+            2,
+        );
+        obs
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_logged_event() {
+        let obs = sample_obs();
+        let j = events_jsonl(&obs);
+        // The Debug event is flight-ring-only.
+        assert_eq!(j.lines().count(), 1);
+        assert!(j.contains("\"name\":\"playout_gap\""));
+        assert!(j.contains("\"session\":3"));
+        assert!(j.contains("\"value\":2"));
+        assert!(!j.contains("buffer_occupancy"));
+    }
+
+    #[test]
+    fn chrome_trace_closes_open_spans_and_is_deterministic() {
+        let obs = sample_obs();
+        let end = MediaTime::from_millis(100);
+        let t = chrome_trace(&obs, end);
+        assert_eq!(t, chrome_trace(&sample_obs(), end));
+        assert!(t.starts_with("{\"traceEvents\":["));
+        assert!(t.contains("\"name\":\"session\""));
+        // The open playout span is closed at trace end: 100ms - 30ms.
+        assert!(t.contains("\"ts\":30000,\"dur\":70000"), "{t}");
+        assert!(t.contains("\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn timeline_orders_and_indents() {
+        let obs = sample_obs();
+        let tl = session_timeline(&obs, 3);
+        let sess = tl.find("session\n").unwrap();
+        let pre = tl.find("  prefill").unwrap();
+        let gap = tl.find("playout_gap").unwrap();
+        assert!(sess < pre && pre < gap, "{tl}");
+        assert_eq!(session_timeline(&obs, 999), "timeline for session 999\n");
+    }
+
+    #[test]
+    fn flight_report_includes_ring_context() {
+        let mut obs = sample_obs();
+        obs.dump_flight(
+            MediaTime::from_millis(41),
+            2,
+            "playout_gap",
+            Labels::session(3),
+        );
+        let r = flight_report(&obs);
+        assert!(r.contains("reason=playout_gap"));
+        // The Debug-only occupancy record appears in the dump window.
+        assert!(r.contains("buffer_occupancy"), "{r}");
+    }
+
+    #[test]
+    fn span_liveness_helper() {
+        assert!(!span_is_live(SpanId::NONE));
+        assert!(span_is_live(SpanId(0)));
+    }
+}

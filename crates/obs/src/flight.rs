@@ -1,0 +1,165 @@
+//! The flight recorder: a bounded ring of recent events per node, dumped
+//! automatically when an anomaly fires (playout gap, breaker trip,
+//! media-node failover, session drop) so failures ship their own context.
+//!
+//! Every emitted event — including `Debug`-severity records that never
+//! reach the main trace log — lands in its node's ring. A dump snapshots
+//! the ring at that instant; the ring itself keeps rolling, so back-to-back
+//! anomalies each carry the window that preceded *them*.
+
+use crate::event::{Event, Labels};
+use hermes_core::MediaTime;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Default events retained per node.
+pub const DEFAULT_RING_CAP: usize = 64;
+/// Default cap on retained dumps (later anomalies stop dumping — by then
+/// the first few windows have told the story, and memory stays bounded).
+pub const DEFAULT_MAX_DUMPS: usize = 32;
+
+/// One anomaly dump: the triggering context plus the preceding window of
+/// the node's events, oldest first.
+#[derive(Debug, Clone)]
+pub struct FlightDump {
+    /// When the anomaly fired.
+    pub at: MediaTime,
+    /// The node whose ring was dumped.
+    pub node: u64,
+    /// Static anomaly name (`playout_gap`, `breaker_trip`, …).
+    pub reason: &'static str,
+    /// Labels of the triggering condition.
+    pub labels: Labels,
+    /// The ring contents at dump time, oldest first.
+    pub events: Vec<Event>,
+}
+
+/// Per-node bounded rings plus the dumps collected so far.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    cap: usize,
+    max_dumps: usize,
+    rings: BTreeMap<u64, VecDeque<Event>>,
+    dumps: Vec<FlightDump>,
+    /// Anomalies seen after the dump cap was reached (still counted).
+    pub suppressed: u64,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_RING_CAP, DEFAULT_MAX_DUMPS)
+    }
+}
+
+impl FlightRecorder {
+    /// Recorder with explicit ring capacity and dump cap.
+    pub fn new(cap: usize, max_dumps: usize) -> Self {
+        assert!(cap > 0);
+        FlightRecorder {
+            cap,
+            max_dumps,
+            rings: BTreeMap::new(),
+            dumps: Vec::new(),
+            suppressed: 0,
+        }
+    }
+
+    /// Append an event to its node's ring, evicting the oldest past `cap`.
+    pub fn record(&mut self, ev: Event) {
+        let ring = self.rings.entry(ev.node).or_default();
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(ev);
+    }
+
+    /// Snapshot `node`'s ring as an anomaly dump.
+    pub fn dump(&mut self, at: MediaTime, node: u64, reason: &'static str, labels: Labels) {
+        if self.dumps.len() >= self.max_dumps {
+            self.suppressed += 1;
+            return;
+        }
+        let events: Vec<Event> = self
+            .rings
+            .get(&node)
+            .map(|r| r.iter().copied().collect())
+            .unwrap_or_default();
+        self.dumps.push(FlightDump {
+            at,
+            node,
+            reason,
+            labels,
+            events,
+        });
+    }
+
+    /// Dumps collected so far, in trigger order.
+    pub fn dumps(&self) -> &[FlightDump] {
+        &self.dumps
+    }
+
+    /// Current ring length of a node (test/diagnostic hook).
+    pub fn ring_len(&self, node: u64) -> usize {
+        self.rings.get(&node).map(|r| r.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Severity;
+
+    fn ev(at: i64, node: u64, seq: u64, name: &'static str) -> Event {
+        Event {
+            at: MediaTime::from_millis(at),
+            seq,
+            node,
+            severity: Severity::Debug,
+            name,
+            labels: Labels::NONE,
+            value: 0,
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_dump_snapshots_it() {
+        let mut f = FlightRecorder::new(3, 8);
+        for i in 0..5 {
+            f.record(ev(i, 1, i as u64, "tick"));
+        }
+        assert_eq!(f.ring_len(1), 3);
+        f.dump(
+            MediaTime::from_millis(9),
+            1,
+            "playout_gap",
+            Labels::session(7),
+        );
+        let d = &f.dumps()[0];
+        assert_eq!(d.reason, "playout_gap");
+        // Oldest two were evicted; the window holds ticks 2..5.
+        let ats: Vec<i64> = d.events.iter().map(|e| e.at.as_millis()).collect();
+        assert_eq!(ats, vec![2, 3, 4]);
+        // The ring keeps rolling after a dump.
+        f.record(ev(10, 1, 9, "tick"));
+        assert_eq!(f.ring_len(1), 3);
+    }
+
+    #[test]
+    fn rings_are_per_node_and_dump_cap_holds() {
+        let mut f = FlightRecorder::new(4, 1);
+        f.record(ev(1, 1, 0, "a"));
+        f.record(ev(2, 2, 1, "b"));
+        f.dump(MediaTime::from_millis(3), 2, "breaker_trip", Labels::NONE);
+        assert_eq!(f.dumps()[0].events.len(), 1);
+        assert_eq!(f.dumps()[0].events[0].name, "b");
+        f.dump(MediaTime::from_millis(4), 1, "breaker_trip", Labels::NONE);
+        assert_eq!(f.dumps().len(), 1);
+        assert_eq!(f.suppressed, 1);
+    }
+
+    #[test]
+    fn dump_of_quiet_node_is_empty() {
+        let mut f = FlightRecorder::default();
+        f.dump(MediaTime::ZERO, 42, "session_drop", Labels::NONE);
+        assert!(f.dumps()[0].events.is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! # hermes-obs
+//!
+//! The observability layer for the Hermes on-demand service: sim-time
+//! structured tracing, lifecycle spans, a unified metrics registry and a
+//! per-node flight recorder, threaded through the simulator engine and
+//! every service actor.
+//!
+//! * [`event`] — fixed-shape, allocation-free trace records with severity
+//!   and a fixed label set, merged deterministically by `(sim-time, seq)`;
+//! * [`span`] — parent/child lifecycle intervals (admission → placement →
+//!   prefill → playout → recovery → degradation → teardown);
+//! * [`registry`] — counters, gauges and fixed-bucket histograms behind one
+//!   deterministic snapshot surface;
+//! * [`export`] — JSONL event dump, Chrome trace-event (Perfetto-loadable)
+//!   span export, per-session timeline text and flight reports;
+//! * [`flight`] — bounded per-node rings of recent events, dumped on
+//!   anomalies so failures ship their own context;
+//! * [`stats`] — accumulators, histograms, rate meters and sample-set
+//!   helpers (migrated from `hermes-simnet::metrics`).
+//!
+//! ## Cost model
+//!
+//! Recording is gated twice: the `trace` cargo feature (compile-time; off
+//! means every record call is a statically-false branch the optimizer
+//! deletes) and a runtime `enabled` flag (one load + branch when compiled
+//! in). Hot-path records are `Copy` — `&'static str` names, fixed label
+//! struct, no formatting — so an enabled trace costs a ring push and, for
+//! `Info`-and-above, one `Vec` push. The `exp_obs` benchmark measures both
+//! sides of the toggle.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod flight;
+pub mod registry;
+pub mod span;
+pub mod stats;
+
+pub use event::{Event, Labels, Severity};
+pub use export::{chrome_trace, events_jsonl, flight_report, session_timeline};
+pub use flight::{FlightDump, FlightRecorder};
+pub use registry::{MetricKey, MetricsRegistry};
+pub use span::{Span, SpanId, SpanStore};
+pub use stats::{max_dur_by, mean_by, percentile, Accumulator, DurationHistogram, RateMeter};
+
+use hermes_core::MediaTime;
+
+/// True when the `trace` cargo feature is compiled in. With it off, every
+/// recording method starts with a statically-false check and compiles to a
+/// no-op.
+pub const TRACE_COMPILED: bool = cfg!(feature = "trace");
+
+/// The observability capture for one run: the main event log, the span
+/// store, the metrics registry and the flight recorder, plus the global
+/// `seq` counter that makes same-tick emissions from different nodes merge
+/// in one deterministic order.
+#[derive(Debug, Clone)]
+pub struct Obs {
+    enabled: bool,
+    seq: u64,
+    events: Vec<Event>,
+    /// Lifecycle spans.
+    pub spans: SpanStore,
+    /// The unified metrics registry (always live — publishing happens at
+    /// end of run and is not gated by the trace toggle).
+    pub registry: MetricsRegistry,
+    /// Per-node recent-event rings and anomaly dumps.
+    pub flight: FlightRecorder,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::new()
+    }
+}
+
+impl Obs {
+    /// A fresh capture with tracing enabled (when compiled in).
+    pub fn new() -> Self {
+        Obs {
+            enabled: true,
+            seq: 0,
+            events: Vec::new(),
+            spans: SpanStore::default(),
+            registry: MetricsRegistry::new(),
+            flight: FlightRecorder::default(),
+        }
+    }
+
+    /// True when recording is active (feature compiled in *and* runtime
+    /// flag set).
+    #[inline]
+    pub fn on(&self) -> bool {
+        TRACE_COMPILED && self.enabled
+    }
+
+    /// Flip the runtime toggle (a disabled capture records nothing but
+    /// keeps its registry usable).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Record an event with a zero payload.
+    #[inline]
+    pub fn emit(
+        &mut self,
+        at: MediaTime,
+        node: u64,
+        severity: Severity,
+        name: &'static str,
+        labels: Labels,
+    ) {
+        self.emit_val(at, node, severity, name, labels, 0);
+    }
+
+    /// Record an event. `Debug` severity goes to the node's flight ring
+    /// only; `Info` and above also append to the main log.
+    #[inline]
+    pub fn emit_val(
+        &mut self,
+        at: MediaTime,
+        node: u64,
+        severity: Severity,
+        name: &'static str,
+        labels: Labels,
+        value: i64,
+    ) {
+        if !self.on() {
+            return;
+        }
+        let ev = Event {
+            at,
+            seq: self.seq,
+            node,
+            severity,
+            name,
+            labels,
+            value,
+        };
+        self.seq += 1;
+        self.flight.record(ev);
+        if severity >= Severity::Info {
+            self.events.push(ev);
+        }
+    }
+
+    /// Open a span (returns [`SpanId::NONE`] when recording is off; the
+    /// null handle is accepted everywhere downstream).
+    #[inline]
+    pub fn span_start(
+        &mut self,
+        at: MediaTime,
+        node: u64,
+        name: &'static str,
+        labels: Labels,
+        parent: SpanId,
+    ) -> SpanId {
+        if !self.on() {
+            return SpanId::NONE;
+        }
+        self.spans.start(at, node, name, labels, parent)
+    }
+
+    /// Close a span (no-op for the null handle).
+    #[inline]
+    pub fn span_end(&mut self, id: SpanId, at: MediaTime) {
+        if !self.on() {
+            return;
+        }
+        self.spans.end(id, at);
+    }
+
+    /// Get-or-create the root span of `session` — the shared parent under
+    /// which client- and server-side actors hang their lifecycle spans.
+    #[inline]
+    pub fn session_span(&mut self, session: u64, node: u64, at: MediaTime) -> SpanId {
+        if !self.on() {
+            return SpanId::NONE;
+        }
+        self.spans.session_root(session, node, at)
+    }
+
+    /// Dump `node`'s flight ring on an anomaly.
+    #[inline]
+    pub fn dump_flight(&mut self, at: MediaTime, node: u64, reason: &'static str, labels: Labels) {
+        if !self.on() {
+            return;
+        }
+        self.flight.dump(at, node, reason, labels);
+    }
+
+    /// The main event log (`Info` and above), in `(at, seq)` order by
+    /// construction.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(feature = "trace")]
+    fn same_tick_emissions_merge_deterministically() {
+        // Two nodes emit at the same sim-time tick: the global seq counter
+        // fixes the merge order, and two identical runs agree byte-for-byte.
+        let run = || {
+            let mut obs = Obs::new();
+            let t = MediaTime::from_millis(100);
+            obs.emit(t, 2, Severity::Info, "node_two_first", Labels::NONE);
+            obs.emit(t, 1, Severity::Info, "node_one_second", Labels::NONE);
+            obs
+        };
+        let a = run();
+        assert_eq!(a.events()[0].name, "node_two_first");
+        assert_eq!(a.events()[1].name, "node_one_second");
+        assert!(a.events()[0].sort_key() < a.events()[1].sort_key());
+        assert_eq!(events_jsonl(&run()), events_jsonl(&a));
+    }
+
+    #[test]
+    fn runtime_toggle_silences_everything() {
+        let mut obs = Obs::new();
+        obs.set_enabled(false);
+        obs.emit(MediaTime::ZERO, 1, Severity::Error, "boom", Labels::NONE);
+        let id = obs.span_start(MediaTime::ZERO, 1, "s", Labels::NONE, SpanId::NONE);
+        obs.dump_flight(MediaTime::ZERO, 1, "anomaly", Labels::NONE);
+        assert!(id.is_none());
+        assert!(obs.events().is_empty());
+        assert!(obs.spans.is_empty());
+        assert!(obs.flight.dumps().is_empty());
+        // The registry stays usable regardless of the toggle.
+        obs.registry.counter_add("c", Labels::NONE, 1);
+        assert_eq!(obs.registry.counter("c", Labels::NONE), 1);
+    }
+
+    #[test]
+    fn debug_events_stay_out_of_the_main_log() {
+        let mut obs = Obs::new();
+        obs.emit(MediaTime::ZERO, 1, Severity::Debug, "tick", Labels::NONE);
+        obs.emit(
+            MediaTime::ZERO,
+            1,
+            Severity::Info,
+            "lifecycle",
+            Labels::NONE,
+        );
+        assert_eq!(obs.events().len(), if TRACE_COMPILED { 1 } else { 0 });
+        if TRACE_COMPILED {
+            assert_eq!(obs.events()[0].name, "lifecycle");
+            assert_eq!(obs.flight.ring_len(1), 2);
+        }
+    }
+}

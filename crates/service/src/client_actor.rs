@@ -15,7 +15,7 @@ use hermes_core::{
 use hermes_media::MediaFrame;
 use hermes_rtp::{ReceivedFrame, RtpReceiver};
 use hermes_server::{RetryBudget, SubscriptionForm, TopicEntry};
-use hermes_simnet::SimApi;
+use hermes_simnet::{Labels, Obs, Severity, SimApi, SpanId};
 use std::collections::BTreeMap;
 
 /// The presentation currently being received/played.
@@ -50,6 +50,15 @@ pub struct Presentation {
     pub ticking: bool,
     /// The timed (`AT`) auto-link already fired for this presentation.
     pub auto_link_fired: bool,
+    /// The open prefill span: scenario arrival → playout start (null when
+    /// tracing is off or already closed).
+    pub obs_prefill: SpanId,
+    /// The playout span: start → completion (null until started).
+    pub obs_playout: SpanId,
+    /// Glitch total at the last tick (playout-gap delta detection).
+    pub obs_glitches: u64,
+    /// Tick counter for sampled trace emissions.
+    pub obs_ticks: u32,
 }
 
 impl Presentation {
@@ -284,6 +293,15 @@ impl ClientActor {
             // phantom session behind: tear back down to disconnected.
             match p.msg {
                 ServiceMsg::Connect { .. } | ServiceMsg::ReconnectRequest { .. } => {
+                    let session = self.session.map(|(_, s)| s.raw()).unwrap_or(0);
+                    api.emit_val(
+                        self.node,
+                        Severity::Error,
+                        "session_abandoned",
+                        Labels::session(session),
+                        attempts as i64,
+                    );
+                    api.flight_dump(self.node, "session_abandoned", Labels::session(session));
                     self.session = None;
                     self.recovering = None;
                     self.presentation = None;
@@ -348,6 +366,13 @@ impl ClientActor {
             // recovery shifts it by the outage length, exactly like a
             // user pause/resume.
             self.recovering = Some(now);
+            api.emit_val(
+                self.node,
+                Severity::Warn,
+                "server_silent",
+                Labels::session(session.raw()).peer(server.raw()),
+                self.cfg.missed_beats as i64,
+            );
             self.note(
                 now,
                 format!(
@@ -943,6 +968,13 @@ impl ClientActor {
                 if let Some(p) = &mut self.presentation {
                     p.engine.finish_stream(component, now);
                 }
+                let session = self.session.map(|(_, s)| s.raw()).unwrap_or(0);
+                api.emit(
+                    self.node,
+                    Severity::Warn,
+                    "stream_stopped",
+                    Labels::session(session).stream(component.raw()),
+                );
                 self.note(now, format!("server stopped {component}"));
             }
             ServiceMsg::StreamRegraded {
@@ -953,6 +985,14 @@ impl ClientActor {
                 if let Some(p) = &mut self.presentation {
                     p.engine.restart_stream(component, now);
                 }
+                let session = self.session.map(|(_, s)| s.raw()).unwrap_or(0);
+                api.emit_val(
+                    self.node,
+                    Severity::Info,
+                    "stream_regraded",
+                    Labels::session(session).stream(component.raw()),
+                    level as i64,
+                );
                 self.note(now, format!("{component} regraded to level {level}"));
             }
             ServiceMsg::SuspendExpired { .. } => {
@@ -1037,6 +1077,15 @@ impl ClientActor {
             self.history_cursor = self.history.len();
         }
         self.shared_group = None;
+        let session = self.session.map(|(_, s)| s.raw()).unwrap_or(0);
+        let root = api.session_span(session, self.node);
+        let obs_prefill = api.span_start(self.node, "prefill", Labels::session(session), root);
+        api.emit(
+            self.node,
+            Severity::Info,
+            "scenario_received",
+            Labels::session(session),
+        );
         self.presentation = Some(Presentation {
             document,
             scenario,
@@ -1052,6 +1101,10 @@ impl ClientActor {
             paused_at: None,
             ticking: false,
             auto_link_fired: false,
+            obs_prefill,
+            obs_playout: SpanId::NONE,
+            obs_glitches: 0,
+            obs_ticks: 0,
         });
         self.note(now, format!("scenario for {document} received"));
         api.set_timer(
@@ -1133,6 +1186,18 @@ impl ClientActor {
             p.started_at = Some(now);
             p.engine.start(now);
             p.ticking = true;
+            let session = self.session.map(|(_, s)| s.raw()).unwrap_or(0);
+            let prefill = std::mem::replace(&mut p.obs_prefill, SpanId::NONE);
+            api.span_end(prefill);
+            let root = api.session_span(session, self.node);
+            p.obs_playout = api.span_start(self.node, "playout", Labels::session(session), root);
+            api.emit_val(
+                self.node,
+                Severity::Info,
+                "presentation_start",
+                Labels::session(session),
+                waited.as_micros(),
+            );
             self.note(now, "presentation started");
             api.set_timer(self.node, self.cfg.tick_interval, timers::TK_TICK, 0);
             api.set_timer(
@@ -1161,17 +1226,54 @@ impl ClientActor {
             if !p.ticking {
                 return;
             }
+            let session = self.session.map(|(_, s)| s.raw()).unwrap_or(0);
             if p.paused_at.is_none() {
                 p.engine.tick(now);
-                // Mirror buffer occupancy into the QoS trackers.
+                // Mirror buffer occupancy into the QoS trackers (and the
+                // flight rings: occupancy history is the context a
+                // playout-gap dump needs). The trace emission is sampled —
+                // every third tick keeps the enabled-tracing overhead a
+                // third of per-tick cost and stretches the bounded ring's
+                // history window 3× without losing the starvation shape.
+                p.obs_ticks = p.obs_ticks.wrapping_add(1);
+                let sample = p.obs_ticks % 3 == 0;
                 for s in p.engine.streams() {
                     if let Some(b) = &s.buffer {
                         self.qos.stream_mut(s.component).buffer_occupancy = b.occupancy().min(1.0);
+                        if sample {
+                            api.emit_val(
+                                self.node,
+                                Severity::Debug,
+                                "buffer_occupancy",
+                                Labels::session(session).stream(s.component.raw()),
+                                (b.occupancy() * 1000.0) as i64,
+                            );
+                        }
                     }
+                }
+                let glitches = p.engine.total_stats().glitches;
+                if glitches > p.obs_glitches {
+                    api.emit_val(
+                        self.node,
+                        Severity::Warn,
+                        "playout_gap",
+                        Labels::session(session),
+                        (glitches - p.obs_glitches) as i64,
+                    );
+                    api.flight_dump(self.node, "playout_gap", Labels::session(session));
+                    p.obs_glitches = glitches;
                 }
             }
             if p.engine.is_complete() {
                 p.ticking = false;
+                let playout = std::mem::replace(&mut p.obs_playout, SpanId::NONE);
+                api.span_end(playout);
+                api.emit(
+                    self.node,
+                    Severity::Info,
+                    "presentation_complete",
+                    Labels::session(session),
+                );
                 finished = Some((
                     p.document,
                     p.startup_delay().unwrap_or(MediaDuration::ZERO),
@@ -1249,6 +1351,33 @@ impl ClientActor {
                 }
             }
         }
+    }
+
+    /// Snapshot this client's playout/QoS counters into the unified metrics
+    /// registry, labelled with the client's node id (`peer`).
+    pub fn publish_metrics(&self, obs: &mut Obs) {
+        let l = Labels::for_peer(self.node.raw());
+        if let Some(p) = &self.presentation {
+            let t = p.engine.total_stats();
+            obs.registry
+                .counter_set("client.frames_played", l, t.frames_played);
+            obs.registry
+                .counter_set("client.duplicates_played", l, t.duplicates_played);
+            obs.registry.counter_set("client.glitches", l, t.glitches);
+            obs.registry
+                .counter_set("client.frames_dropped", l, t.frames_dropped);
+            obs.registry.gauge_set(
+                "client.max_skew_us",
+                l,
+                p.engine.max_skew_observed.as_micros() as f64,
+            );
+        }
+        obs.registry
+            .counter_set("client.completed", l, self.completed.len() as u64);
+        obs.registry
+            .counter_set("client.recoveries", l, self.recoveries.len() as u64);
+        obs.registry
+            .counter_set("client.errors", l, self.errors.len() as u64);
     }
 
     fn send_feedback(&mut self, api: &mut SimApi<'_, ServiceMsg>) {

@@ -20,7 +20,7 @@ use crate::timers;
 use hermes_core::{GradeLevel, MediaDuration, MediaKind, MediaTime, NodeId, ServerId};
 use hermes_media::{segment_bytes, segment_frames, MediaObject, MediaStore};
 use hermes_server::{OverloadQueue, QueuedRequest};
-use hermes_simnet::SimApi;
+use hermes_simnet::{Labels, Obs, Severity, SimApi};
 use std::collections::BTreeMap;
 
 /// Service-model configuration of a media node.
@@ -149,6 +149,24 @@ impl MediaActor {
         self.slowdown = factor.max(1);
     }
 
+    /// Snapshot this media node's serving counters into the unified metrics
+    /// registry, labelled with the node id (`peer`).
+    pub fn publish_metrics(&self, obs: &mut Obs) {
+        let l = Labels::for_peer(self.node.raw());
+        let st = self.stats;
+        obs.registry
+            .counter_set("media.requests_served", l, st.requests_served);
+        obs.registry
+            .counter_set("media.frames_served", l, st.frames_served);
+        obs.registry
+            .counter_set("media.bytes_served", l, st.bytes_served);
+        obs.registry.counter_set("media.not_found", l, st.not_found);
+        obs.registry.counter_set("media.busy_sent", l, st.busy_sent);
+        obs.registry.counter_set("media.cancelled", l, st.cancelled);
+        obs.registry
+            .gauge_set("media.queue_len", l, self.queue.len() as f64);
+    }
+
     /// Handle an incoming message addressed to this media node.
     pub fn on_message(&mut self, api: &mut SimApi<'_, ServiceMsg>, from: NodeId, msg: ServiceMsg) {
         match msg {
@@ -199,6 +217,13 @@ impl MediaActor {
                 };
                 for shed in self.queue.push(req, api.now()) {
                     self.stats.busy_sent += 1;
+                    api.emit_val(
+                        self.node,
+                        Severity::Warn,
+                        "fetch_shed",
+                        Labels::for_peer(shed.item.from.raw()).segment(shed.item.segment),
+                        self.queue.len() as i64,
+                    );
                     api.send_reliable(
                         self.node,
                         shed.item.from,

@@ -18,7 +18,7 @@ use hermes_server::{
     MultimediaDb, PathCondition, PlacementMap, PressureDetector, ReplicaHealthMap, ReplicaSelector,
     SegmentCache, SegmentKey, ServerQosManager, ShareDecision, SharingMode, SharingPolicy,
 };
-use hermes_simnet::{DurationHistogram, SimApi};
+use hermes_simnet::{DurationHistogram, Labels, Obs, Severity, SimApi, SpanId};
 use std::collections::{BTreeMap, VecDeque};
 
 /// One active outgoing media stream of a session.
@@ -389,6 +389,11 @@ pub struct SessionState {
     pub shed_levels: u8,
     /// The shared delivery group this session belongs to, if any.
     pub group: Option<u64>,
+    /// The session's root trace span (null when tracing is off).
+    pub obs_root: SpanId,
+    /// The open admission span: connect → first successful document
+    /// admission (null when tracing is off or already closed).
+    pub obs_admission: SpanId,
 }
 
 /// One degradation-ladder step: a victim session walked one level down,
@@ -797,6 +802,19 @@ impl ServerActor {
             .map(|u| self.accounts.is_authorized(u))
             .unwrap_or(false);
         let now = api.now();
+        let obs_root = api.session_span(session.raw(), self.node);
+        let obs_admission = api.span_start(
+            self.node,
+            "admission",
+            Labels::session(session.raw()),
+            obs_root,
+        );
+        api.emit(
+            self.node,
+            Severity::Info,
+            "session_connect",
+            Labels::session(session.raw()).peer(from.raw()),
+        );
         self.sessions.insert(
             session,
             SessionState {
@@ -813,6 +831,8 @@ impl ServerActor {
                 last_media: now,
                 shed_levels: 0,
                 group: None,
+                obs_root,
+                obs_admission,
             },
         );
         if authorized {
@@ -930,10 +950,32 @@ impl ServerActor {
                 MediaDuration::ZERO,
             ),
             ShareDecision::OpenGroup { wait } => {
+                api.emit_val(
+                    self.node,
+                    Severity::Info,
+                    "share_open",
+                    Labels::session(session.raw()),
+                    wait.as_micros(),
+                );
                 self.open_shared_group(api, session, document, wait)
             }
-            ShareDecision::JoinPending => self.join_shared_group(api, session, document, None),
+            ShareDecision::JoinPending => {
+                api.emit(
+                    self.node,
+                    Severity::Info,
+                    "share_join",
+                    Labels::session(session.raw()),
+                );
+                self.join_shared_group(api, session, document, None)
+            }
             ShareDecision::JoinWithPatch { offset } => {
+                api.emit_val(
+                    self.node,
+                    Severity::Info,
+                    "share_join_patch",
+                    Labels::session(session.raw()),
+                    offset.as_micros(),
+                );
                 self.join_shared_group(api, session, document, Some(offset))
             }
         }
@@ -1305,6 +1347,13 @@ impl ServerActor {
         let authorized = user
             .map(|u| self.accounts.is_authorized(u))
             .unwrap_or(false);
+        let obs_root = api.session_span(new_session.raw(), self.node);
+        api.emit(
+            self.node,
+            Severity::Warn,
+            "session_rebuilt",
+            Labels::session(new_session.raw()).peer(from.raw()),
+        );
         self.sessions.insert(
             new_session,
             SessionState {
@@ -1321,6 +1370,8 @@ impl ServerActor {
                 last_media: now,
                 shed_levels: 0,
                 group: None,
+                obs_root,
+                obs_admission: SpanId::NONE,
             },
         );
         self.rebuilt_sessions.push((session, new_session));
@@ -1462,10 +1513,31 @@ impl ServerActor {
         let shed = match self.admit_with_shedding(api, session, class, client, &flow, false) {
             Ok(shed) => shed,
             Err(reason) => {
+                api.emit(
+                    self.node,
+                    Severity::Warn,
+                    "admit_reject",
+                    Labels::session(session.raw()),
+                );
                 api.send_reliable(self.node, client, ServiceMsg::DocError { session, reason });
                 return;
             }
         };
+        api.emit_val(
+            self.node,
+            if shed > 0 {
+                Severity::Warn
+            } else {
+                Severity::Info
+            },
+            "admit",
+            Labels::session(session.raw()),
+            shed as i64,
+        );
+        if let Some(s) = self.sessions.get_mut(&session) {
+            let span = std::mem::replace(&mut s.obs_admission, SpanId::NONE);
+            api.span_end(span);
+        }
 
         if let Some(u) = user {
             self.accounts.record_retrieval(u, document);
@@ -1958,9 +2030,27 @@ impl ServerActor {
         if newly_open {
             // A successful-but-slow completion can still trip the breaker
             // (EWMA latency): eject only after the fetched frames landed.
+            api.emit(
+                self.node,
+                Severity::Error,
+                "breaker_trip",
+                Labels::for_peer(tag.replica.raw()),
+            );
+            api.flight_dump(
+                self.node,
+                "breaker_trip",
+                Labels::for_peer(tag.replica.raw()),
+            );
             self.eject_replica_streams(api, tag.replica);
         }
         if let Some(sick) = loser_slow {
+            api.emit(
+                self.node,
+                Severity::Error,
+                "breaker_trip",
+                Labels::for_peer(sick.raw()),
+            );
+            api.flight_dump(self.node, "breaker_trip", Labels::for_peer(sick.raw()));
             self.eject_replica_streams(api, sick);
         }
     }
@@ -2026,7 +2116,29 @@ impl ServerActor {
         };
         tier.selector.fetch_finished(tag.replica);
         tier.stats.fetch_errors += 1;
-        Self::note_failure(tier, tag.replica, now);
+        let tripped = Self::note_failure(tier, tag.replica, now);
+        api.emit(
+            self.node,
+            Severity::Warn,
+            "fetch_error",
+            Labels::session(tag.session.raw())
+                .stream(tag.component.raw())
+                .peer(tag.replica.raw()),
+        );
+        if tripped {
+            api.emit(
+                self.node,
+                Severity::Error,
+                "breaker_trip",
+                Labels::for_peer(tag.replica.raw()),
+            );
+            api.flight_dump(
+                self.node,
+                "breaker_trip",
+                Labels::for_peer(tag.replica.raw()),
+            );
+        }
+        let tier = self.media.as_mut().expect("tier checked above");
         if let Some(partner) = tier.hedge_pairs.remove(&fetch) {
             // The partner (if still outstanding) carries on alone.
             tier.hedge_pairs.remove(&partner);
@@ -2447,6 +2559,13 @@ impl ServerActor {
                 },
             );
         }
+        api.emit_val(
+            self.node,
+            Severity::Warn,
+            "ladder_degrade",
+            Labels::session(sid.raw()),
+            regrades.len() as i64,
+        );
         self.ladder_stack.push(LadderStep {
             session: sid,
             prior,
@@ -2493,6 +2612,13 @@ impl ServerActor {
                 },
             );
         }
+        api.emit_val(
+            self.node,
+            Severity::Info,
+            "ladder_restore",
+            Labels::session(step.session.raw()),
+            regrades.len() as i64,
+        );
         if let Some(tier) = self.media.as_mut() {
             tier.stats.ladder_restores += 1;
         }
@@ -2504,6 +2630,20 @@ impl ServerActor {
     /// protocol makes failover exactly a re-request from `next_append`,
     /// i.e. from the first frame the client has not yet been sent.
     pub fn on_media_node_event(&mut self, api: &mut SimApi<'_, ServiceMsg>, media_node: NodeId) {
+        if self.media.is_none() {
+            return;
+        }
+        api.emit(
+            self.node,
+            Severity::Warn,
+            "media_failover",
+            Labels::for_peer(media_node.raw()),
+        );
+        api.flight_dump(
+            self.node,
+            "media_failover",
+            Labels::for_peer(media_node.raw()),
+        );
         let Some(tier) = self.media.as_mut() else {
             return;
         };
@@ -2897,6 +3037,21 @@ impl ServerActor {
                                 timers::pack(session, act.component),
                             );
                         }
+                        api.emit_val(
+                            self.node,
+                            if act.decision == GradeDecision::Degrade {
+                                Severity::Warn
+                            } else {
+                                Severity::Info
+                            },
+                            if act.decision == GradeDecision::Degrade {
+                                "qos_degrade"
+                            } else {
+                                "qos_upgrade"
+                            },
+                            Labels::session(session.raw()).stream(act.component.raw()),
+                            act.new_level.0 as i64,
+                        );
                         api.send_reliable(
                             self.node,
                             client,
@@ -2909,6 +3064,12 @@ impl ServerActor {
                     }
                     GradeDecision::Stop => {
                         tx.stopped = true;
+                        api.emit(
+                            self.node,
+                            Severity::Warn,
+                            "qos_stop",
+                            Labels::session(session.raw()).stream(act.component.raw()),
+                        );
                         api.send_reliable(
                             self.node,
                             client,
@@ -2954,7 +3115,97 @@ impl ServerActor {
         if let Some(conn) = self.admission.release(session) {
             api.net_mut().release(conn);
         }
-        self.sessions.remove(&session);
+        if let Some(s) = self.sessions.remove(&session) {
+            api.emit(
+                self.node,
+                Severity::Info,
+                "session_teardown",
+                Labels::session(session.raw()),
+            );
+            api.span_end(s.obs_admission);
+            api.span_end(s.obs_root);
+        }
+    }
+
+    /// Snapshot this server's counters into the unified metrics registry.
+    /// Every metric is labelled with the server's node id (`peer`) so a
+    /// multi-server world publishes without key collisions.
+    pub fn publish_metrics(&self, obs: &mut Obs) {
+        let l = Labels::for_peer(self.node.raw());
+        let mut admitted = 0u64;
+        let mut rejected = 0u64;
+        let mut requests = 0u64;
+        for cs in self.admission.stats.values() {
+            requests += cs.requests;
+            admitted += cs.admitted;
+            rejected += cs.rejected;
+        }
+        obs.registry
+            .counter_set("server.admit_requests", l, requests);
+        obs.registry.counter_set("server.admitted", l, admitted);
+        obs.registry
+            .counter_set("server.admit_rejected", l, rejected);
+        obs.registry
+            .gauge_set("server.sessions", l, self.sessions.len() as f64);
+        obs.registry.counter_set(
+            "server.share_groups_opened",
+            l,
+            self.sharing_stats.groups_opened,
+        );
+        obs.registry.counter_set(
+            "server.share_joins_pending",
+            l,
+            self.sharing_stats.joins_pending,
+        );
+        obs.registry.counter_set(
+            "server.share_joins_patched",
+            l,
+            self.sharing_stats.joins_patched,
+        );
+        obs.registry.counter_set(
+            "server.share_patch_streams",
+            l,
+            self.sharing_stats.patch_streams,
+        );
+        obs.registry.counter_set(
+            "server.share_mcast_frames",
+            l,
+            self.sharing_stats.mcast_frames,
+        );
+        obs.registry.counter_set(
+            "server.share_epoch_bumps",
+            l,
+            self.sharing_stats.epoch_bumps,
+        );
+        if let Some(tier) = self.media.as_ref() {
+            let st = &tier.stats;
+            obs.registry.counter_set("server.fetches", l, st.fetches);
+            obs.registry.counter_set("server.chunks", l, st.chunks);
+            obs.registry.counter_set("server.stalls", l, st.stalls);
+            obs.registry
+                .counter_set("server.failovers", l, st.failovers);
+            obs.registry
+                .counter_set("server.fetch_errors", l, st.fetch_errors);
+            obs.registry.counter_set("server.fetch_busy", l, st.busy);
+            obs.registry.counter_set("server.hedges", l, st.hedges);
+            obs.registry
+                .counter_set("server.hedge_wins", l, st.hedge_wins);
+            obs.registry
+                .counter_set("server.breaker_trips", l, st.breaker_trips);
+            obs.registry
+                .counter_set("server.fetches_lost", l, st.fetches_lost);
+            obs.registry
+                .counter_set("server.ladder_degrades", l, st.ladder_degrades);
+            obs.registry
+                .counter_set("server.ladder_restores", l, st.ladder_restores);
+            let c = tier.cache.stats;
+            obs.registry.counter_set("server.cache_hits", l, c.hits);
+            obs.registry.counter_set("server.cache_misses", l, c.misses);
+            obs.registry
+                .counter_set("server.cache_evicted", l, c.evicted);
+            obs.registry
+                .hist_set("server.fetch_latency", l, tier.fetch_latency.clone());
+        }
     }
 
     fn on_disconnect(&mut self, api: &mut SimApi<'_, ServiceMsg>, session: SessionId) {

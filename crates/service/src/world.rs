@@ -122,6 +122,21 @@ impl ServiceWorld {
         );
     }
 
+    /// Snapshot every actor's counters into the unified metrics registry
+    /// (call at end of run, after the engine's own
+    /// [`hermes_simnet::Sim::publish_metrics`]).
+    pub fn publish_metrics(&self, obs: &mut hermes_simnet::Obs) {
+        for s in self.servers.values() {
+            s.publish_metrics(obs);
+        }
+        for c in self.clients.values() {
+            c.publish_metrics(obs);
+        }
+        for m in self.media_nodes.values() {
+            m.publish_metrics(obs);
+        }
+    }
+
     /// Replicate freshly processed subscription forms to every server's
     /// user database ("this form is transmitted to every server of the
     /// service", §5).

@@ -15,7 +15,14 @@
 //!   (store-and-forward, per-hop queueing, ARQ with backoff);
 //! * [`faults`] — deterministic fault injection: scheduled node
 //!   crash/restart, link partition/heal and link flapping;
-//! * [`metrics`] — accumulators, histograms and rate meters.
+//! * [`metrics`] — accumulators, histograms and rate meters (re-exported
+//!   from [`hermes_obs::stats`]).
+//!
+//! The engine carries a [`hermes_obs::Obs`] capture: application callbacks
+//! record sim-time-stamped events and spans through [`SimApi`], the engine
+//! itself traces injected faults and reliable-transport abandons, and
+//! [`Sim::publish_metrics`] snapshots the engine counters into the unified
+//! metrics registry.
 
 #![warn(missing_docs)]
 
@@ -27,6 +34,7 @@ pub mod sim;
 pub mod topology;
 
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
+pub use hermes_obs::{self as obs, Event, Labels, Obs, Severity, SpanId};
 pub use metrics::{Accumulator, DurationHistogram, RateMeter};
 pub use models::{CongestionEpoch, CongestionProfile, JitterModel, LossModel, LossState};
 pub use rng::SimRng;

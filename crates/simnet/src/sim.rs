@@ -24,6 +24,7 @@ use crate::faults::{FaultEvent, FaultKind, FaultPlan};
 use crate::rng::SimRng;
 use crate::topology::{LinkOutcome, Network};
 use hermes_core::{MediaDuration, MediaTime, NodeId};
+use hermes_obs::{Labels, Obs, Severity, SpanId};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
 
@@ -200,6 +201,10 @@ struct Core<M> {
     incarnation: HashMap<NodeId, u64>,
     /// Multicast group membership, managed by the sim: group id → members.
     mcast_groups: BTreeMap<u64, BTreeSet<NodeId>>,
+    /// The observability capture for the run (tracing, spans, metrics,
+    /// flight recorder) — events record through [`SimApi`] so every record
+    /// is stamped with the engine clock.
+    obs: Obs,
 }
 
 impl<M: WireSize + Clone> Core<M> {
@@ -289,25 +294,60 @@ impl<M: WireSize + Clone> Core<M> {
     /// Apply one injected fault to the engine state.
     fn apply_fault(&mut self, kind: FaultKind) {
         self.stats.faults_applied += 1;
+        let now = self.now;
         match kind {
             FaultKind::NodeCrash { node } => {
                 self.dead.insert(node);
                 self.teardown_reliable_channels(node);
+                self.obs
+                    .emit(now, node.raw(), Severity::Error, "node_crash", Labels::NONE);
             }
             FaultKind::NodeRestart { node } => {
                 self.dead.remove(&node);
                 *self.incarnation.entry(node).or_insert(0) += 1;
+                self.obs.emit(
+                    now,
+                    node.raw(),
+                    Severity::Warn,
+                    "node_restart",
+                    Labels::NONE,
+                );
             }
             FaultKind::LinkDown { a, b } => {
                 self.net.set_link_up(a, b, false);
+                self.obs.emit(
+                    now,
+                    a.raw(),
+                    Severity::Warn,
+                    "link_down",
+                    Labels::for_peer(b.raw()),
+                );
             }
             FaultKind::LinkUp { a, b } => {
                 self.net.set_link_up(a, b, true);
+                self.obs.emit(
+                    now,
+                    a.raw(),
+                    Severity::Info,
+                    "link_up",
+                    Labels::for_peer(b.raw()),
+                );
             }
-            FaultKind::NodeSlow { .. } | FaultKind::NodeNominal { .. } => {
+            FaultKind::NodeSlow { node, .. } => {
                 // Brownouts change no engine state: the node keeps receiving
                 // and its timers keep firing. The application layer sees the
                 // fault via `App::on_fault` and inflates its service times.
+                self.obs
+                    .emit(now, node.raw(), Severity::Warn, "node_slow", Labels::NONE);
+            }
+            FaultKind::NodeNominal { node } => {
+                self.obs.emit(
+                    now,
+                    node.raw(),
+                    Severity::Info,
+                    "node_nominal",
+                    Labels::NONE,
+                );
             }
         }
     }
@@ -568,6 +608,18 @@ impl<M: WireSize + Clone> Core<M> {
                 Transport::Reliable => {
                     if attempt + 1 >= self.cfg.max_attempts {
                         self.stats.reliable_failures += 1;
+                        {
+                            let now = self.now;
+                            let dst = *path.last().unwrap();
+                            self.obs.emit_val(
+                                now,
+                                from.raw(),
+                                Severity::Warn,
+                                "reliable_abandon",
+                                Labels::for_peer(dst.raw()),
+                                attempt as i64 + 1,
+                            );
+                        }
                         // Abandoning a sequence number must not wedge the
                         // receiver's in-order gate: mark it dead so later
                         // segments can still be released.
@@ -701,6 +753,70 @@ impl<'a, M: WireSize + Clone> SimApi<'a, M> {
     pub fn stats(&self) -> SimStats {
         self.core.stats
     }
+    /// The run's observability capture (read side: registry, spans, …).
+    pub fn obs(&self) -> &Obs {
+        &self.core.obs
+    }
+    /// Mutable observability capture (metric publishing mid-run).
+    pub fn obs_mut(&mut self) -> &mut Obs {
+        &mut self.core.obs
+    }
+    /// Record a trace event stamped with the engine clock.
+    #[inline]
+    pub fn emit(&mut self, node: NodeId, severity: Severity, name: &'static str, labels: Labels) {
+        let now = self.core.now;
+        self.core.obs.emit(now, node.raw(), severity, name, labels);
+    }
+    /// Record a trace event with a payload value, stamped with the clock.
+    #[inline]
+    pub fn emit_val(
+        &mut self,
+        node: NodeId,
+        severity: Severity,
+        name: &'static str,
+        labels: Labels,
+        value: i64,
+    ) {
+        let now = self.core.now;
+        self.core
+            .obs
+            .emit_val(now, node.raw(), severity, name, labels, value);
+    }
+    /// Open a lifecycle span at the current engine clock. `parent` may be
+    /// [`SpanId::NONE`] for a root; returns the null handle when tracing
+    /// is off.
+    #[inline]
+    pub fn span_start(
+        &mut self,
+        node: NodeId,
+        name: &'static str,
+        labels: Labels,
+        parent: SpanId,
+    ) -> SpanId {
+        let now = self.core.now;
+        self.core
+            .obs
+            .span_start(now, node.raw(), name, labels, parent)
+    }
+    /// Close a span at the current engine clock (null handles ignored).
+    #[inline]
+    pub fn span_end(&mut self, id: SpanId) {
+        let now = self.core.now;
+        self.core.obs.span_end(id, now);
+    }
+    /// Get-or-create the root span of a session (raw id) — the shared
+    /// parent for client- and server-side lifecycle spans.
+    #[inline]
+    pub fn session_span(&mut self, session: u64, node: NodeId) -> SpanId {
+        let now = self.core.now;
+        self.core.obs.session_span(session, node.raw(), now)
+    }
+    /// Dump `node`'s flight-recorder ring on an anomaly.
+    #[inline]
+    pub fn flight_dump(&mut self, node: NodeId, reason: &'static str, labels: Labels) {
+        let now = self.core.now;
+        self.core.obs.dump_flight(now, node.raw(), reason, labels);
+    }
 }
 
 impl<M: WireSize + Clone, A: App<M>> Sim<M, A> {
@@ -729,6 +845,7 @@ impl<M: WireSize + Clone, A: App<M>> Sim<M, A> {
                 dead: HashSet::new(),
                 incarnation: HashMap::new(),
                 mcast_groups: BTreeMap::new(),
+                obs: Obs::new(),
             },
         }
     }
@@ -760,6 +877,43 @@ impl<M: WireSize + Clone, A: App<M>> Sim<M, A> {
     /// True unless the node is currently crashed by an injected fault.
     pub fn node_is_up(&self, node: NodeId) -> bool {
         !self.core.dead.contains(&node)
+    }
+    /// The run's observability capture.
+    pub fn obs(&self) -> &Obs {
+        &self.core.obs
+    }
+    /// Mutable observability capture (toggling, metric publishing).
+    pub fn obs_mut(&mut self) -> &mut Obs {
+        &mut self.core.obs
+    }
+    /// Move the capture out (for export after a run), leaving a fresh one.
+    pub fn take_obs(&mut self) -> Obs {
+        std::mem::take(&mut self.core.obs)
+    }
+    /// Snapshot the engine counters and per-network totals into the
+    /// capture's metrics registry under the `sim.*` / `net.*` namespaces.
+    pub fn publish_metrics(&mut self) {
+        let s = self.core.stats;
+        let r = &mut self.core.obs.registry;
+        r.counter_set("sim.delivered", Labels::NONE, s.delivered);
+        r.counter_set("sim.datagrams_dropped", Labels::NONE, s.datagrams_dropped);
+        r.counter_set("sim.retransmissions", Labels::NONE, s.retransmissions);
+        r.counter_set("sim.reliable_failures", Labels::NONE, s.reliable_failures);
+        r.counter_set("sim.timers_fired", Labels::NONE, s.timers_fired);
+        r.counter_set("sim.faults_applied", Labels::NONE, s.faults_applied);
+        r.counter_set("sim.fault_drops", Labels::NONE, s.fault_drops);
+        r.counter_set("sim.mcast_sends", Labels::NONE, s.mcast_sends);
+        r.counter_set("sim.mcast_link_copies", Labels::NONE, s.mcast_link_copies);
+        r.counter_set("sim.mcast_deliveries", Labels::NONE, s.mcast_deliveries);
+        let n = self.core.net.total_stats();
+        r.counter_set("net.packets_sent", Labels::NONE, n.packets_sent);
+        r.counter_set("net.packets_lost", Labels::NONE, n.packets_lost);
+        r.counter_set(
+            "net.packets_dropped_queue",
+            Labels::NONE,
+            n.packets_dropped_queue,
+        );
+        r.counter_set("net.bytes_sent", Labels::NONE, n.bytes_sent);
     }
 
     /// Run app code "from outside" (initial kicks, mid-run interventions).

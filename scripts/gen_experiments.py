@@ -10,7 +10,7 @@ OUT = "/tmp/expout"
 EXPERIMENTS = ["exp_tab1","exp_fig1","exp_fig2","exp_fig3","exp_fig4","exp_fig5",
                "exp_skew","exp_window","exp_grade","exp_admit","exp_search",
                "exp_migrate","exp_ablate","exp_concur","exp_faults",
-               "exp_overload","exp_placement","exp_scale"]
+               "exp_overload","exp_placement","exp_scale","exp_obs"]
 
 def run_all():
     os.makedirs(OUT, exist_ok=True)
@@ -362,15 +362,17 @@ catalog skew × sharing policy (off / batching / batching+patching).
 **Finding.** At 12 arrivals/s every policy serves everyone, and sharing
 already cuts server egress ~3× on the skewed catalog — but batching alone
 buys that with a ~1.3 s startup penalty (the window wait), which patching
-eliminates. At 50 arrivals/s the unshared service collapses: sessions
-glitch so badly they never finish (hundreds of gaps per thousand frames,
-half the arrivals unserved because stalled sessions pin the client pool),
-while both sharing modes serve all 2 292 arrivals with **zero** playout
-gaps. On the Zipf(1.2) catalog batching+patching cuts egress 56% versus
-off (3134 → 1375 MB) with sub-second startup — egress flattens as skew
-grows because more arrivals land on hot titles whose groups already
-stream. Multicast frame copies ride one trunk serialization each
-(`mcast` column), which is exactly the saving.
+mostly eliminates. At 50 arrivals/s the unshared service saturates: over
+a third of arrivals go unserved because stalled sessions pin the client
+pool, the served ones glitch at ~60–70 gaps per thousand frames, and
+startup stretches past 4.5 s. Batching absorbs the same crowd outright —
+all 2 292 arrivals served with **zero** playout gaps — while
+batching+patching trades a small residual tail (~1 gap/kframe, a couple
+hundred late joiners unserved) for the deepest egress cut: 77% versus off
+(4046 → 928 MB) on the Zipf(1.2) catalog. Egress flattens as skew grows
+because more arrivals land on hot titles whose groups already stream.
+Multicast frame copies ride one trunk serialization each (`mcast`
+column), which is exactly the saving.
 
 ---
 
@@ -412,6 +414,48 @@ are turned away either way and the served set — hence the tier dynamics
 serving, is the bottleneck. CI re-runs the smoke grid twice and diffs
 the output: every number above — including hedge races, which are
 resolved by simulated time — is deterministic.
+
+---
+
+## EXP-OBS — the trace tells the session's story (`exp_obs`)
+
+**Paper gap:** the paper reports its QoS mechanisms working (§5) but never
+says how anyone *saw* them work — there is no account of how a 1996
+operator would reconstruct why one session glitched at minute three.
+**Measured:** not a performance claim but an instrumentation one. One
+session plays a 3-component clip over an access link with 8% Bernoulli
+loss, starved below the media rate, with recovery and grading disabled so
+playout gaps actually happen; the run's trace is then *asserted against*:
+the `admission` → `prefill` → `playout` spans must nest under the session
+root with correct sim-time ordering, the `playout_gap` event count must
+equal the playout engine's own glitch counter, and the gap's
+flight-recorder dump must carry the buffer-occupancy events that precede
+it. A second run with grading on must surface every `qos_degrade` /
+`stream_regraded` transition, and a timing loop compares wall-clock with
+tracing runtime-enabled vs disabled.
+
+```""")
+    A(grab("exp_obs", start="gap trace", maxlines=12))
+    A("  ...")
+    A(grab("exp_obs", start="flight dump @", maxlines=3))
+    A("    ...")
+    A(grab("exp_obs", start="more dumps omitted", maxlines=2))
+    A("""```
+
+**Finding.** The whole lifecycle of a lossy session is reconstructable
+from its trace alone: the 206 ms admission negotiation, the 760 ms
+prefill, then a starving buffer (`stream=1` pinned at occupancy 0 in the
+flight dump while `stream=2` holds ~1.6 s) until the deadline misses
+begin at 5.85 s — every one of the engine's 122 glitches has a matching
+`playout_gap` event, and each dump shows the buffer history *before* the
+gap, which is exactly what a bounded ring buys over a plain log.
+`--trace PATH` exports the same run as `PATH.jsonl` and
+`PATH.trace.json` (Chrome trace-event; open in ui.perfetto.dev to see the
+span waterfall). Because events are stamped with sim-time and sequenced
+deterministically, the exports are byte-identical across runs — CI diffs
+them — and the timing table (sink-only, never in the export) shows the
+runtime toggle costs a few percent at most while the
+`--no-default-features` build removes tracing entirely.
 
 ---
 
