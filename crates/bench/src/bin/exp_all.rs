@@ -24,6 +24,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_placement",
     "exp_scale",
     "exp_obs",
+    "exp_chaos",
 ];
 
 fn main() {

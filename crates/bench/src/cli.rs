@@ -10,7 +10,11 @@
 //!   (used by the CI determinism gate),
 //! - `--trace PATH` — where experiments that export observability traces
 //!   (EXP-OBS) write them: `PATH.jsonl` (event log) and `PATH.trace.json`
-//!   (Chrome trace-event / Perfetto).
+//!   (Chrome trace-event / Perfetto),
+//! - `--chaos-seeds N` — how many fault-plan seeds the chaos harness
+//!   (EXP-CHAOS) sweeps,
+//! - `--chaos-intensity X` — scales the chaos fault-injection rate
+//!   (1.0 = the profile as written).
 //!
 //! No external crates: flag parsing is a few lines and the binaries need
 //! nothing fancier.
@@ -32,6 +36,10 @@ pub struct ExpOpts {
     /// `--trace PATH`: trace-export path prefix (experiments that export
     /// observability traces write `PATH.jsonl` and `PATH.trace.json`).
     pub trace: Option<PathBuf>,
+    /// `--chaos-seeds N`: fault-plan seeds for the chaos harness to sweep.
+    pub chaos_seeds: Option<u64>,
+    /// `--chaos-intensity X`: multiplier on the chaos incident rate.
+    pub chaos_intensity: Option<f64>,
 }
 
 impl ExpOpts {
@@ -44,7 +52,8 @@ impl ExpOpts {
                 let mut err = std::io::stderr().lock();
                 let _ = writeln!(
                     err,
-                    "{e}\nusage: [--seed N] [--out PATH] [--smoke] [--trace PATH]"
+                    "{e}\nusage: [--seed N] [--out PATH] [--smoke] [--trace PATH] \
+                     [--chaos-seeds N] [--chaos-intensity X]"
                 );
                 std::process::exit(2);
             }
@@ -70,6 +79,22 @@ impl ExpOpts {
                 "--trace" => {
                     let v = it.next().ok_or("--trace needs a path")?;
                     opts.trace = Some(PathBuf::from(v));
+                }
+                "--chaos-seeds" => {
+                    let v = it.next().ok_or("--chaos-seeds needs a value")?;
+                    let n: u64 = v.parse().map_err(|_| format!("bad seed count {v:?}"))?;
+                    if n == 0 {
+                        return Err("--chaos-seeds must be at least 1".into());
+                    }
+                    opts.chaos_seeds = Some(n);
+                }
+                "--chaos-intensity" => {
+                    let v = it.next().ok_or("--chaos-intensity needs a value")?;
+                    let x: f64 = v.parse().map_err(|_| format!("bad intensity {v:?}"))?;
+                    if !x.is_finite() || x <= 0.0 {
+                        return Err("--chaos-intensity must be a positive number".into());
+                    }
+                    opts.chaos_intensity = Some(x);
                 }
                 other => return Err(format!("unknown argument {other:?}")),
             }
@@ -108,7 +133,25 @@ impl ExpOpts {
         if self.smoke {
             v.push("--smoke".into());
         }
+        if let Some(n) = self.chaos_seeds {
+            v.push("--chaos-seeds".into());
+            v.push(n.to_string());
+        }
+        if let Some(x) = self.chaos_intensity {
+            v.push("--chaos-intensity".into());
+            v.push(x.to_string());
+        }
         v
+    }
+
+    /// Chaos seed count, falling back to the experiment's default.
+    pub fn chaos_seeds(&self, default: u64) -> u64 {
+        self.chaos_seeds.unwrap_or(default)
+    }
+
+    /// Chaos intensity multiplier (default 1.0).
+    pub fn chaos_intensity(&self) -> f64 {
+        self.chaos_intensity.unwrap_or(1.0)
     }
 }
 
@@ -170,6 +213,30 @@ mod tests {
     #[test]
     fn trace_needs_a_path() {
         assert!(ExpOpts::from_args(args(&["--trace"])).is_err());
+    }
+
+    #[test]
+    fn chaos_flags_parse_and_forward() {
+        let o =
+            ExpOpts::from_args(args(&["--chaos-seeds", "64", "--chaos-intensity", "2.5"])).unwrap();
+        assert_eq!(o.chaos_seeds(200), 64);
+        assert_eq!(o.chaos_intensity(), 2.5);
+        assert_eq!(
+            o.forwarded_args(),
+            args(&["--chaos-seeds", "64", "--chaos-intensity", "2.5"])
+        );
+        let d = ExpOpts::default();
+        assert_eq!(d.chaos_seeds(200), 200);
+        assert_eq!(d.chaos_intensity(), 1.0);
+    }
+
+    #[test]
+    fn chaos_flags_reject_nonsense() {
+        assert!(ExpOpts::from_args(args(&["--chaos-seeds", "0"])).is_err());
+        assert!(ExpOpts::from_args(args(&["--chaos-seeds", "x"])).is_err());
+        assert!(ExpOpts::from_args(args(&["--chaos-intensity", "-1"])).is_err());
+        assert!(ExpOpts::from_args(args(&["--chaos-intensity", "nan"])).is_err());
+        assert!(ExpOpts::from_args(args(&["--chaos-intensity"])).is_err());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod cli;
 pub mod harness;
 pub mod tables;

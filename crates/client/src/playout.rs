@@ -84,6 +84,11 @@ pub struct StreamPlayoutStats {
     pub frames_played: u64,
     /// Duplicates presented (underflow smoothing).
     pub duplicates_played: u64,
+    /// Re-delivered frames presented whose content position had already
+    /// been played. Unlike `duplicates_played` (deliberate concealment
+    /// replays of the *previous* frame), a stale frame means an upstream
+    /// layer delivered the same content twice — this must never happen.
+    pub stale_frames: u64,
     /// Visible glitches (nothing to present).
     pub glitches: u64,
     /// Frames dropped by occupancy/skew control.
@@ -491,7 +496,7 @@ impl PlayoutEngine {
                                         PlayoutEventKind::FramePlayed { seq: frame.seq },
                                     ));
                                 } else {
-                                    s.stats.duplicates_played += 1;
+                                    s.stats.stale_frames += 1;
                                     pending_events
                                         .push((deadline, PlayoutEventKind::DuplicatePlayed));
                                 }
@@ -683,6 +688,7 @@ impl PlayoutEngine {
         for s in self.streams.values() {
             t.frames_played += s.stats.frames_played;
             t.duplicates_played += s.stats.duplicates_played;
+            t.stale_frames += s.stats.stale_frames;
             t.glitches += s.stats.glitches;
             t.frames_dropped += s.stats.frames_dropped;
         }

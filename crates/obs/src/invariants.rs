@@ -1,0 +1,413 @@
+//! Global invariant checkers over a finished run's observability capture —
+//! the back half of the chaos harness (`hermes_simnet::chaos` generates
+//! the fault schedules whose runs these checkers judge).
+//!
+//! Each checker consumes the deterministic main event log (`Info` and
+//! above, `(at, seq)`-ordered) and/or the final [`MetricsRegistry`]
+//! snapshot, and returns [`Violation`]s — statements that a *system-wide*
+//! property was broken, not that a component misbehaved locally. The
+//! catalog:
+//!
+//! * **Epoch monotonicity** — `stream_epoch` / `group_epoch` announcements
+//!   never regress for a given stream or shared group.
+//! * **Session lifecycle** — every session a server opens is closed
+//!   exactly once (teardown, crash loss, or supersession by a rebuild),
+//!   never re-opened, never leaked past the end of the run; a client that
+//!   abandoned a session never reports progress on it afterwards.
+//! * **Frame discipline** — no client ever played a duplicate frame.
+//! * **Breaker legality** — per-replica breaker transitions follow the
+//!   Closed → Open → HalfOpen → {Open, Closed} machine.
+//! * **Conservation** — every media transport part sent was received or
+//!   died with an accounted fault (engine fault ledger).
+//! * **Bounded recovery** — after the last injected fault clears, the
+//!   system returns to quiet: no disruption events past a settle window.
+//!
+//! Checkers are individually public so property tests can feed each one
+//! synthetic streams with known violations.
+
+use crate::event::{Event, Labels};
+use crate::registry::MetricsRegistry;
+use hermes_core::{MediaDuration, MediaTime};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One broken invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which checker fired (`epoch_monotonicity`, `session_lifecycle`, …).
+    pub invariant: &'static str,
+    /// Sim-time of the offending observation ([`MediaTime::ZERO`] for
+    /// registry-level checks, which see only the final snapshot).
+    pub at: MediaTime,
+    /// Human-readable statement of the breakage.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(invariant: &'static str, at: MediaTime, detail: String) -> Self {
+        Violation {
+            invariant,
+            at,
+            detail,
+        }
+    }
+
+    /// Canonical one-line rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "[{}] t={}µs {}",
+            self.invariant,
+            self.at.as_micros(),
+            self.detail
+        )
+    }
+}
+
+/// Configuration for [`check_run`].
+#[derive(Debug, Clone)]
+pub struct InvariantConfig {
+    /// The instant the last injected fault cleared (the fault plan's final
+    /// event). `None` disables the bounded-recovery check.
+    pub last_fault_clear: Option<MediaTime>,
+    /// Grace window after `last_fault_clear` within which disruption
+    /// events are still legitimate fallout.
+    pub settle: MediaDuration,
+}
+
+impl Default for InvariantConfig {
+    fn default() -> Self {
+        InvariantConfig {
+            last_fault_clear: None,
+            settle: MediaDuration::from_secs(5),
+        }
+    }
+}
+
+/// Run the full invariant catalog over a finished run.
+pub fn check_run(
+    events: &[Event],
+    registry: &MetricsRegistry,
+    cfg: &InvariantConfig,
+) -> Vec<Violation> {
+    let mut v = Vec::new();
+    v.extend(check_epoch_monotonicity(events));
+    v.extend(check_session_lifecycle(events));
+    v.extend(check_frame_discipline(registry));
+    v.extend(check_breaker_legality(events));
+    v.extend(check_conservation(registry));
+    if let Some(clear) = cfg.last_fault_clear {
+        v.extend(check_bounded_recovery(events, clear, cfg.settle));
+    }
+    v
+}
+
+/// `stream_epoch` (per server node + session + stream) and `group_epoch`
+/// (per server node + group, carried in the `stream` label) values must be
+/// strictly increasing: an epoch regression means stale-fetch fencing is
+/// broken and frames from a superseded window could be delivered.
+pub fn check_epoch_monotonicity(events: &[Event]) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let mut last: BTreeMap<(u64, u64, u64, u64), i64> = BTreeMap::new();
+    for e in events {
+        let key = match e.name {
+            "stream_epoch" => (
+                e.node,
+                0,
+                e.labels.session.unwrap_or(0),
+                e.labels.stream.unwrap_or(0),
+            ),
+            "group_epoch" => (e.node, 1, 0, e.labels.stream.unwrap_or(0)),
+            _ => continue,
+        };
+        if let Some(&prev) = last.get(&key) {
+            if e.value <= prev {
+                v.push(Violation::new(
+                    "epoch_monotonicity",
+                    e.at,
+                    format!(
+                        "{}{} on node {} regressed {} → {}",
+                        e.name,
+                        e.labels.render(),
+                        e.node,
+                        prev,
+                        e.value
+                    ),
+                ));
+            }
+        }
+        last.insert(key, e.value);
+    }
+    v
+}
+
+/// Server-side session open/close discipline plus client-fate coherence.
+///
+/// Opens: `session_connect`, `session_rebuilt` (which also closes the old
+/// session carried in its `value`). Closes: `session_teardown`,
+/// `session_crash_lost`. Every open session must be closed exactly once
+/// and never re-opened; a session still open when the log ends is leaked.
+/// Client side: `session_abandoned` is absorbing — a later
+/// `presentation_complete` or second abandonment on the same (client,
+/// session) is a conflicting fate.
+pub fn check_session_lifecycle(events: &[Event]) -> Vec<Violation> {
+    let mut v = Vec::new();
+    // (server node, session) -> still open?
+    let mut open: BTreeSet<(u64, u64)> = BTreeSet::new();
+    // Sessions that ever existed, to distinguish "close of unknown" from
+    // "double close".
+    let mut known: BTreeSet<(u64, u64)> = BTreeSet::new();
+    // (client node, session) -> abandoned at.
+    let mut abandoned: BTreeMap<(u64, u64), MediaTime> = BTreeMap::new();
+    for e in events {
+        let sid = e.labels.session.unwrap_or(0);
+        match e.name {
+            "session_connect" | "session_rebuilt" => {
+                let key = (e.node, sid);
+                if e.name == "session_rebuilt" {
+                    let old = (e.node, e.value as u64);
+                    // The rebuild supersedes the old incarnation's session:
+                    // that id must have existed and may or may not still be
+                    // open (a crash loss already closed it).
+                    open.remove(&old);
+                    if !known.contains(&old) {
+                        v.push(Violation::new(
+                            "session_lifecycle",
+                            e.at,
+                            format!(
+                                "session_rebuilt{} supersedes unknown session {} on node {}",
+                                e.labels.render(),
+                                e.value,
+                                e.node
+                            ),
+                        ));
+                    }
+                }
+                if !open.insert(key) {
+                    v.push(Violation::new(
+                        "session_lifecycle",
+                        e.at,
+                        format!(
+                            "{}{} re-opened live session on node {}",
+                            e.name,
+                            e.labels.render(),
+                            e.node
+                        ),
+                    ));
+                }
+                known.insert(key);
+            }
+            "session_teardown" | "session_crash_lost" => {
+                let key = (e.node, sid);
+                if !open.remove(&key) {
+                    v.push(Violation::new(
+                        "session_lifecycle",
+                        e.at,
+                        format!(
+                            "{}{} closed a session not open on node {} ({})",
+                            e.name,
+                            e.labels.render(),
+                            e.node,
+                            if known.contains(&key) {
+                                "double close"
+                            } else {
+                                "never opened"
+                            }
+                        ),
+                    ));
+                }
+            }
+            "session_abandoned" => {
+                let key = (e.node, sid);
+                if abandoned.insert(key, e.at).is_some() {
+                    v.push(Violation::new(
+                        "session_lifecycle",
+                        e.at,
+                        format!("session {sid} abandoned twice by client node {}", e.node),
+                    ));
+                }
+            }
+            "presentation_complete" => {
+                if let Some(&when) = abandoned.get(&(e.node, sid)) {
+                    v.push(Violation::new(
+                        "session_lifecycle",
+                        e.at,
+                        format!(
+                            "client node {} completed a presentation on session {sid} \
+                             abandoned at {}µs",
+                            e.node,
+                            when.as_micros()
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    for (node, sid) in open {
+        v.push(Violation::new(
+            "session_lifecycle",
+            events.last().map(|e| e.at).unwrap_or(MediaTime::ZERO),
+            format!("session {sid} on node {node} leaked: never reached a terminal state"),
+        ));
+    }
+    v
+}
+
+/// No client may ever present the same *content* twice: a stale frame
+/// reaching the renderer means epoch fencing or receiver reset logic let
+/// an upstream layer re-deliver played material. Concealment replays
+/// (`client.duplicates_played` — the previous frame re-presented to
+/// smooth an underflow or skew repair) are deliberate degraded-mode
+/// behavior under faults and are *not* violations.
+pub fn check_frame_discipline(registry: &MetricsRegistry) -> Vec<Violation> {
+    let mut v = Vec::new();
+    for (key, value) in registry.counters() {
+        if key.name == "client.stale_frames" && value > 0 {
+            v.push(Violation::new(
+                "frame_discipline",
+                MediaTime::ZERO,
+                format!("{} stale frames presented ({})", value, key.render()),
+            ));
+        }
+    }
+    v
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Breaker {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+/// Breaker state-machine legality per (server node, replica): trips only
+/// from Closed/HalfOpen, probes only from Open, closes only from HalfOpen.
+/// `breaker_reset` (replica incarnation change) and a crash of the server
+/// node itself (whose health map is RAM) return circuits to Closed.
+pub fn check_breaker_legality(events: &[Event]) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let mut state: BTreeMap<(u64, u64), Breaker> = BTreeMap::new();
+    for e in events {
+        match e.name {
+            "node_crash" => {
+                // The crashed node's own breaker map is volatile state.
+                state.retain(|(srv, _), _| *srv != e.node);
+                continue;
+            }
+            "breaker_trip" | "breaker_probe" | "breaker_close" | "breaker_reset" => {}
+            _ => continue,
+        }
+        let key = (e.node, e.labels.peer.unwrap_or(0));
+        let cur = *state.get(&key).unwrap_or(&Breaker::Closed);
+        let next = match (e.name, cur) {
+            ("breaker_trip", Breaker::Closed | Breaker::HalfOpen) => Breaker::Open,
+            ("breaker_probe", Breaker::Open) => Breaker::HalfOpen,
+            ("breaker_close", Breaker::HalfOpen) => Breaker::Closed,
+            ("breaker_reset", _) => Breaker::Closed,
+            _ => {
+                v.push(Violation::new(
+                    "breaker_legality",
+                    e.at,
+                    format!(
+                        "{}{} on node {} illegal from state {:?}",
+                        e.name,
+                        e.labels.render(),
+                        e.node,
+                        cur
+                    ),
+                ));
+                continue;
+            }
+        };
+        state.insert(key, next);
+    }
+    v
+}
+
+/// Conservation of media transport accounting: every part a media node put
+/// on the wire was received by a server or died with an accounted fault
+/// (engine `fault_drops` — stale-incarnation deliveries, torn-down
+/// reliable holds — or exhausted retransmission budgets). Valid only after
+/// the run has drained; parts still in flight would read as leaks.
+pub fn check_conservation(registry: &MetricsRegistry) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let mut sent = 0u64;
+    let mut received = 0u64;
+    let mut fetches = 0u64;
+    let mut chunks = 0u64;
+    for (key, value) in registry.counters() {
+        match key.name {
+            "media.parts_sent" => sent += value,
+            "server.parts_received" => received += value,
+            "server.fetches" => fetches += value,
+            "server.chunks" => chunks += value,
+            _ => {}
+        }
+    }
+    let ledger = registry.counter("sim.fault_drops", Labels::NONE)
+        + registry.counter("sim.reliable_failures", Labels::NONE);
+    if received > sent {
+        v.push(Violation::new(
+            "conservation",
+            MediaTime::ZERO,
+            format!("servers received {received} media parts but only {sent} were sent"),
+        ));
+    } else if sent - received > ledger {
+        v.push(Violation::new(
+            "conservation",
+            MediaTime::ZERO,
+            format!(
+                "media parts leaked: sent {sent}, received {received}, \
+                 fault ledger explains only {ledger}"
+            ),
+        ));
+    }
+    if chunks > fetches {
+        v.push(Violation::new(
+            "conservation",
+            MediaTime::ZERO,
+            format!("{chunks} completed fetches exceed {fetches} issued"),
+        ));
+    }
+    v
+}
+
+/// Event names that signal live disruption. Any of these firing after the
+/// last fault cleared plus the settle window means the system failed to
+/// return to steady state.
+const DISRUPTION: &[&str] = &[
+    "playout_gap",
+    "server_silent",
+    "session_abandoned",
+    "session_crash_lost",
+    "reliable_abandon",
+    "breaker_trip",
+    "media_failover",
+    "fetch_error",
+];
+
+/// Bounded recovery: after `clear + settle`, no disruption events.
+pub fn check_bounded_recovery(
+    events: &[Event],
+    clear: MediaTime,
+    settle: MediaDuration,
+) -> Vec<Violation> {
+    let deadline = clear + settle;
+    events
+        .iter()
+        .filter(|e| e.at > deadline && DISRUPTION.contains(&e.name))
+        .map(|e| {
+            Violation::new(
+                "bounded_recovery",
+                e.at,
+                format!(
+                    "{}{} on node {} at {}µs — {}µs past the recovery deadline",
+                    e.name,
+                    e.labels.render(),
+                    e.node,
+                    e.at.as_micros(),
+                    (e.at - deadline).as_micros()
+                ),
+            )
+        })
+        .collect()
+}

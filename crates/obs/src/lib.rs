@@ -15,6 +15,9 @@
 //!   span export, per-session timeline text and flight reports;
 //! * [`flight`] — bounded per-node rings of recent events, dumped on
 //!   anomalies so failures ship their own context;
+//! * [`invariants`] — global invariant checkers (epoch monotonicity,
+//!   session lifecycle, breaker legality, conservation, bounded recovery)
+//!   run over a finished capture by the chaos harness;
 //! * [`stats`] — accumulators, histograms, rate meters and sample-set
 //!   helpers (migrated from `hermes-simnet::metrics`).
 //!
@@ -33,6 +36,7 @@
 pub mod event;
 pub mod export;
 pub mod flight;
+pub mod invariants;
 pub mod registry;
 pub mod span;
 pub mod stats;
@@ -40,6 +44,7 @@ pub mod stats;
 pub use event::{Event, Labels, Severity};
 pub use export::{chrome_trace, events_jsonl, flight_report, session_timeline};
 pub use flight::{FlightDump, FlightRecorder};
+pub use invariants::{check_run, InvariantConfig, Violation};
 pub use registry::{MetricKey, MetricsRegistry};
 pub use span::{Span, SpanId, SpanStore};
 pub use stats::{max_dur_by, mean_by, percentile, Accumulator, DurationHistogram, RateMeter};

@@ -41,8 +41,8 @@ pub use admission::{
 pub use database::{MultimediaDb, StoredDocument, TopicEntry};
 pub use flow::{compute_flow_scenario, FlowConfig, FlowPlan, FlowScenario};
 pub use overload::{
-    BreakerConfig, BreakerState, NodeHealth, OverloadQueue, OverloadQueueStats, PressureDetector,
-    QueuedRequest, ReplicaHealthMap, RetryBudget,
+    BreakerConfig, BreakerState, BreakerTransition, NodeHealth, OverloadQueue, OverloadQueueStats,
+    PressureDetector, QueuedRequest, ReplicaHealthMap, RetryBudget,
 };
 pub use placement::{PlacementMap, ReplicaSelector};
 pub use qos::{GradingAction, ManagedStream, ServerQosManager};

@@ -282,6 +282,22 @@ impl NodeHealth {
     }
 }
 
+/// One observed breaker state change, recorded by [`ReplicaHealthMap`] so
+/// the service layer can trace every transition (the chaos harness checks
+/// the resulting event stream against the legal state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerTransition {
+    /// The replica whose breaker moved.
+    pub node: NodeId,
+    /// State before the operation.
+    pub from: BreakerState,
+    /// State after the operation.
+    pub to: BreakerState,
+    /// Which operation moved it (`success`, `failure`, `slow_loss`,
+    /// `probe`, `reset`).
+    pub cause: &'static str,
+}
+
 /// Per-replica health map fronting [`crate::ReplicaSelector`]: the service
 /// layer records fetch outcomes here and filters/penalizes candidates by
 /// breaker verdicts before load/RTT selection.
@@ -293,6 +309,8 @@ pub struct ReplicaHealthMap {
     /// Trips of replicas whose health was since reset (kept so totals
     /// survive node restarts).
     retired_trips: u64,
+    /// State changes since the last [`ReplicaHealthMap::take_transitions`].
+    pending: Vec<BreakerTransition>,
 }
 
 impl ReplicaHealthMap {
@@ -302,6 +320,7 @@ impl ReplicaHealthMap {
             cfg,
             nodes: BTreeMap::new(),
             retired_trips: 0,
+            pending: Vec::new(),
         }
     }
 
@@ -309,16 +328,45 @@ impl ReplicaHealthMap {
         self.nodes.entry(node).or_default()
     }
 
+    /// Run `op` on `node`'s record and log any state change under `cause`.
+    fn traced(
+        &mut self,
+        node: NodeId,
+        cause: &'static str,
+        op: impl FnOnce(&mut NodeHealth, &BreakerConfig),
+    ) {
+        let cfg = self.cfg;
+        let h = self.entry(node);
+        let from = h.state;
+        op(h, &cfg);
+        let to = h.state;
+        if from != to {
+            self.pending.push(BreakerTransition {
+                node,
+                from,
+                to,
+                cause,
+            });
+        }
+    }
+
+    /// Drain the breaker state changes observed since the last call. The
+    /// service layer calls this after each batch of health updates and
+    /// emits a trace event per transition.
+    pub fn take_transitions(&mut self) -> Vec<BreakerTransition> {
+        std::mem::take(&mut self.pending)
+    }
+
     /// Record a successful fetch to `node` with the observed latency.
     pub fn record_success(&mut self, node: NodeId, now: MediaTime, latency: MediaDuration) {
-        let cfg = self.cfg;
-        self.entry(node).record_success(&cfg, now, latency);
+        self.traced(node, "success", |h, cfg| {
+            h.record_success(cfg, now, latency);
+        });
     }
 
     /// Record a failed fetch to `node`.
     pub fn record_failure(&mut self, node: NodeId, now: MediaTime) {
-        let cfg = self.cfg;
-        self.entry(node).record_failure(&cfg, now);
+        self.traced(node, "failure", |h, cfg| h.record_failure(cfg, now));
     }
 
     /// Record an abandoned fetch to `node` (no verdict).
@@ -329,16 +377,20 @@ impl ReplicaHealthMap {
     /// Record a lost hedge race against `node`: a censored latency sample
     /// of at least `elapsed` (see [`NodeHealth::record_slow_loss`]).
     pub fn record_slow_loss(&mut self, node: NodeId, now: MediaTime, elapsed: MediaDuration) {
-        let cfg = self.cfg;
-        self.entry(node).record_slow_loss(&cfg, now, elapsed);
+        self.traced(node, "slow_loss", |h, cfg| {
+            h.record_slow_loss(cfg, now, elapsed);
+        });
     }
 
     /// May a fetch be sent to `node` right now? (May transition the node's
     /// breaker Open → HalfOpen and reserves a probe slot — see
     /// [`NodeHealth::admit`].)
     pub fn admit(&mut self, node: NodeId, now: MediaTime) -> bool {
-        let cfg = self.cfg;
-        self.entry(node).admit(&cfg, now)
+        let mut admitted = false;
+        self.traced(node, "probe", |h, cfg| {
+            admitted = h.admit(cfg, now);
+        });
+        admitted
     }
 
     /// Selection penalty for `node` (0 for unknown nodes).
@@ -359,6 +411,14 @@ impl ReplicaHealthMap {
     pub fn reset(&mut self, node: NodeId) {
         if let Some(h) = self.nodes.remove(&node) {
             self.retired_trips += h.trips;
+            if h.state != BreakerState::Closed {
+                self.pending.push(BreakerTransition {
+                    node,
+                    from: h.state,
+                    to: BreakerState::Closed,
+                    cause: "reset",
+                });
+            }
         }
     }
 

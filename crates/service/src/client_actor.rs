@@ -732,12 +732,24 @@ impl ClientActor {
 
     /// User action: disconnect.
     pub fn disconnect(&mut self, api: &mut SimApi<'_, ServiceMsg>) {
+        // A connection left suspended by a migration (§5) must be released
+        // too: the user is gone for good, and without this the old server
+        // holds the admission reservation for the full suspend grace
+        // period (found by the chaos harness's shrinker).
+        if let Some((server, session)) = self.suspended.take() {
+            api.send_reliable(self.node, server, ServiceMsg::Disconnect { session });
+        }
         if let Some((server, session)) = self.session.take() {
             let _ = self.machine.apply(AppEvent::Disconnect);
             api.send_reliable(self.node, server, ServiceMsg::Disconnect { session });
             self.presentation = None;
             self.note(api.now(), "disconnect");
         }
+        // Drop in-flight tracked requests: retrying a Connect or
+        // ReconnectRequest on behalf of a user who just left would rebuild
+        // a session nobody is behind.
+        self.pending_reqs.clear();
+        self.pending_request = None;
     }
 
     /// Handle an incoming message.
@@ -754,8 +766,42 @@ impl ClientActor {
                 self.retries.on_success();
             }
             ServiceMsg::Ack { .. } => {}
-            ServiceMsg::Heartbeat { .. } => {
-                // Activity already recorded above.
+            ServiceMsg::Heartbeat { session, seq } => {
+                // Activity already recorded above. Echo beats for our live
+                // session so the server can tell we're still here. Session
+                // ids are per-server counters, so the match must be on the
+                // (server, session) pair — matching the id alone lets a
+                // client that failed over to another server keep acking its
+                // orphaned old session forever (found by the chaos
+                // harness). A beat from a server we have no business with —
+                // not our live session's server, not our suspended one, no
+                // request in flight to it — means that server is keeping
+                // state for a ghost of us: tell it to let go. The
+                // in-flight guard matters: during a reconnect, beats for
+                // the rebuilt session can overtake the ReconnectAck, and
+                // answering those with Disconnect would kill the recovery.
+                if self.session == Some((from, session)) {
+                    api.send(self.node, from, ServiceMsg::HeartbeatAck { session, seq });
+                } else {
+                    let busy_with = self.session.map(|(s, _)| s) == Some(from)
+                        || self.suspended.map(|(s, _)| s) == Some(from)
+                        || self.pending_reqs.values().any(|p| p.server == from);
+                    if !busy_with {
+                        api.send_reliable(self.node, from, ServiceMsg::Disconnect { session });
+                    }
+                }
+            }
+            ServiceMsg::ReconnectAck {
+                old_session,
+                session,
+            } if self.session.is_none() => {
+                // We disconnected (or abandoned) while the reconnect was
+                // still in flight: the server just rebuilt a session nobody
+                // is behind. Adopting it would keep heartbeat acks flowing
+                // and pin the reservation forever (found by the chaos
+                // harness's shrinker) — release it instead.
+                let _ = old_session;
+                api.send_reliable(self.node, from, ServiceMsg::Disconnect { session });
             }
             ServiceMsg::ReconnectAck {
                 old_session,
@@ -802,6 +848,15 @@ impl ClientActor {
                     }
                     self.note(now, format!("session recovered as {session}"));
                 }
+            }
+            ServiceMsg::ConnectAck {
+                session,
+                must_subscribe,
+            } if self.session.is_none() => {
+                // Same late-ack race as ReconnectAck above: the user left
+                // while the Connect was in flight.
+                let _ = must_subscribe;
+                api.send_reliable(self.node, from, ServiceMsg::Disconnect { session });
             }
             ServiceMsg::ConnectAck {
                 session,
@@ -1363,6 +1418,8 @@ impl ClientActor {
                 .counter_set("client.frames_played", l, t.frames_played);
             obs.registry
                 .counter_set("client.duplicates_played", l, t.duplicates_played);
+            obs.registry
+                .counter_set("client.stale_frames", l, t.stale_frames);
             obs.registry.counter_set("client.glitches", l, t.glitches);
             obs.registry
                 .counter_set("client.frames_dropped", l, t.frames_dropped);

@@ -161,6 +161,8 @@ impl MediaActor {
         obs.registry
             .counter_set("media.bytes_served", l, st.bytes_served);
         obs.registry.counter_set("media.not_found", l, st.not_found);
+        obs.registry
+            .counter_set("media.parts_sent", l, st.parts_sent);
         obs.registry.counter_set("media.busy_sent", l, st.busy_sent);
         obs.registry.counter_set("media.cancelled", l, st.cancelled);
         obs.registry

@@ -104,6 +104,16 @@ pub enum ServiceMsg {
         /// Monotone beat counter.
         seq: u64,
     },
+    /// Client → server: echo of a liveness beat. The server uses acks (and
+    /// stream feedback) to notice *client* death: a session whose client
+    /// has answered nothing for the configured timeout is torn down instead
+    /// of pinning its admission reservation forever.
+    HeartbeatAck {
+        /// The session.
+        session: SessionId,
+        /// The beat being acknowledged.
+        seq: u64,
+    },
     /// Client → server: re-establish a session after a suspected server
     /// failure, carrying enough context to rebuild server-side state if the
     /// server lost it (restart) or to resume in place (false alarm /
@@ -507,7 +517,8 @@ impl ServiceMsg {
             ServiceMsg::RtpData { .. } => StackPath::MediaRtpUdp,
             ServiceMsg::Feedback { .. }
             | ServiceMsg::RtcpSenderReport { .. }
-            | ServiceMsg::Heartbeat { .. } => StackPath::FeedbackRtcpUdp,
+            | ServiceMsg::Heartbeat { .. }
+            | ServiceMsg::HeartbeatAck { .. } => StackPath::FeedbackRtcpUdp,
             ServiceMsg::MailSend { .. }
             | ServiceMsg::MailFetch { .. }
             | ServiceMsg::MailBox { .. } => StackPath::MailSmtp,
@@ -529,6 +540,7 @@ impl WireSize for ServiceMsg {
             ServiceMsg::Ack { .. } => 8 + TCP_IP_OVERHEAD,
             // Heartbeats ride the datagram path: UDP+IP overhead.
             ServiceMsg::Heartbeat { .. } => 16 + 28,
+            ServiceMsg::HeartbeatAck { .. } => 16 + 28,
             ServiceMsg::ReconnectRequest { .. } => 64 + TCP_IP_OVERHEAD,
             ServiceMsg::ReconnectAck { .. } => 24 + TCP_IP_OVERHEAD,
             ServiceMsg::Connect { .. } => 64 + TCP_IP_OVERHEAD,

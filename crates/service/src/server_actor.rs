@@ -384,6 +384,12 @@ pub struct SessionState {
     /// gaps in the media flow — an active stream is its own liveness
     /// signal, and extra datagrams would perturb the shared link models.
     pub last_media: MediaTime,
+    /// Last proof the *client* is alive: connect time, then refreshed by
+    /// heartbeat acks and stream feedback. A session silent past
+    /// [`ServerConfig::client_timeout`] is torn down — without this, a
+    /// client that died mid-session would pin its admission reservation
+    /// forever.
+    pub last_ack: MediaTime,
     /// Admission-time shed: streams started this many grade levels below
     /// nominal because the path lacked headroom for full quality.
     pub shed_levels: u8,
@@ -431,6 +437,10 @@ pub struct ServerConfig {
     /// Per-session liveness heartbeat cadence (clients must expect the
     /// same interval).
     pub heartbeat_interval: MediaDuration,
+    /// Declare a client dead — and tear its session down — after this long
+    /// with no heartbeat ack or feedback from it. Must comfortably exceed
+    /// any partition the deployment is expected to ride out.
+    pub client_timeout: MediaDuration,
     /// Instead of rejecting a document request outright, retry admission
     /// with the streams shed up to this many grade levels below nominal.
     pub max_admission_shed: u8,
@@ -448,6 +458,7 @@ impl Default for ServerConfig {
             floor: PresentationFloor::default(),
             suspend_grace: MediaDuration::from_secs(30),
             heartbeat_interval: MediaDuration::from_millis(400),
+            client_timeout: MediaDuration::from_secs(30),
             max_admission_shed: 3,
             sharing: SharingPolicy {
                 mode: SharingMode::Off,
@@ -565,7 +576,19 @@ impl ServerActor {
                 api.net_mut().release(conn);
             }
         }
-        self.sessions.clear();
+        // Every live session dies with the process — say so, and close its
+        // spans, so the trace shows a terminal state for each one (the
+        // lifecycle invariant checker audits exactly this).
+        for (session, s) in std::mem::take(&mut self.sessions) {
+            api.emit(
+                self.node,
+                Severity::Warn,
+                "session_crash_lost",
+                Labels::session(session.raw()).peer(s.client.raw()),
+            );
+            api.span_end(s.obs_admission);
+            api.span_end(s.obs_root);
+        }
         self.seen_reqs.clear();
         self.queries.clear();
         // The segment cache and fetch table are RAM: gone with the process.
@@ -632,7 +655,17 @@ impl ServerActor {
                 session,
                 measurements,
                 ..
-            } => self.on_feedback(api, session, &measurements),
+            } => {
+                if let Some(s) = self.sessions.get_mut(&session) {
+                    s.last_ack = api.now();
+                }
+                self.on_feedback(api, session, &measurements)
+            }
+            ServiceMsg::HeartbeatAck { session, .. } => {
+                if let Some(s) = self.sessions.get_mut(&session) {
+                    s.last_ack = api.now();
+                }
+            }
             ServiceMsg::MediaFetchChunk {
                 fetch,
                 last,
@@ -736,6 +769,34 @@ impl ServerActor {
             }
             _ => { /* messages addressed to clients are ignored here */ }
         }
+        self.drain_breaker_events(api);
+    }
+
+    /// Emit a trace event per breaker state change the health map recorded
+    /// since the last drain. Trips (`to == Open`) are skipped here: the
+    /// fetch-outcome paths emit `breaker_trip` eagerly with richer context
+    /// (stream ejection, flight dump). What remains — Open → HalfOpen
+    /// probes, HalfOpen → Closed recoveries, incarnation resets — gives the
+    /// invariant checker a complete, legal-order transition record.
+    fn drain_breaker_events(&mut self, api: &mut SimApi<'_, ServiceMsg>) {
+        let Some(tier) = self.media.as_mut() else {
+            return;
+        };
+        let transitions = tier.health.take_transitions();
+        for t in transitions {
+            let name = match (t.to, t.cause) {
+                (BreakerState::Open, _) => continue,
+                (BreakerState::HalfOpen, _) => "breaker_probe",
+                (BreakerState::Closed, "reset") => "breaker_reset",
+                (BreakerState::Closed, _) => "breaker_close",
+            };
+            api.emit(
+                self.node,
+                Severity::Info,
+                name,
+                Labels::for_peer(t.node.raw()),
+            );
+        }
     }
 
     /// Handle a timer addressed to this server.
@@ -752,10 +813,25 @@ impl ServerActor {
             timers::TK_HEARTBEAT => {
                 let session = SessionId::new(payload);
                 if let Some(s) = self.sessions.get_mut(&session) {
+                    let now = api.now();
+                    // A session whose client has proven nothing for the
+                    // timeout is dead weight: reap it so its admission
+                    // reservation returns to the pool. Suspended sessions
+                    // are exempt — TK_GRACE owns their fate.
+                    if !s.suspended && now - s.last_ack >= self.cfg.client_timeout {
+                        api.emit(
+                            self.node,
+                            Severity::Warn,
+                            "client_expired",
+                            Labels::session(session.raw()).peer(s.client.raw()),
+                        );
+                        self.teardown_session(api, session);
+                        return;
+                    }
                     // Gap-filling: an active media stream is its own
                     // liveness signal, so only beat when the client has
                     // heard nothing for a full interval.
-                    if api.now() - s.last_media >= self.cfg.heartbeat_interval {
+                    if now - s.last_media >= self.cfg.heartbeat_interval {
                         s.heartbeat_seq += 1;
                         let beat = ServiceMsg::Heartbeat {
                             session,
@@ -786,6 +862,7 @@ impl ServerActor {
             timers::TK_REPUMP => self.on_repump(api, payload),
             _ => {}
         }
+        self.drain_breaker_events(api);
     }
 
     fn on_connect(
@@ -829,6 +906,7 @@ impl ServerActor {
                 connected_at: now,
                 heartbeat_seq: 0,
                 last_media: now,
+                last_ack: now,
                 shed_levels: 0,
                 group: None,
                 obs_root,
@@ -1348,11 +1426,14 @@ impl ServerActor {
             .map(|u| self.accounts.is_authorized(u))
             .unwrap_or(false);
         let obs_root = api.session_span(new_session.raw(), self.node);
-        api.emit(
+        // The payload carries the superseded session id so trace consumers
+        // (and the lifecycle invariant checker) can link the chain.
+        api.emit_val(
             self.node,
             Severity::Warn,
             "session_rebuilt",
             Labels::session(new_session.raw()).peer(from.raw()),
+            session.raw() as i64,
         );
         self.sessions.insert(
             new_session,
@@ -1368,6 +1449,7 @@ impl ServerActor {
                 connected_at: now,
                 heartbeat_seq: 0,
                 last_media: now,
+                last_ack: now,
                 shed_levels: 0,
                 group: None,
                 obs_root,
@@ -2324,6 +2406,13 @@ impl ServerActor {
                 r.inflight.clear();
                 r.next_request = r.next_append;
                 r.epoch += 1;
+                api.emit_val(
+                    self.node,
+                    Severity::Info,
+                    "stream_epoch",
+                    Labels::session(sid.raw()).stream(cid.raw()),
+                    r.epoch as i64,
+                );
                 affected.push((*sid, *cid));
             }
         }
@@ -2342,6 +2431,13 @@ impl ServerActor {
         }
         for (gid, epoch) in bumped {
             self.sharing_stats.epoch_bumps += 1;
+            api.emit_val(
+                self.node,
+                Severity::Info,
+                "group_epoch",
+                Labels::NONE.stream(gid),
+                epoch as i64,
+            );
             api.send_mcast(self.node, gid, ServiceMsg::GroupEpoch { group: gid, epoch });
         }
     }
@@ -2684,6 +2780,13 @@ impl ServerActor {
                 r.inflight.clear();
                 r.next_request = r.next_append;
                 r.epoch += 1;
+                api.emit_val(
+                    self.node,
+                    Severity::Info,
+                    "stream_epoch",
+                    Labels::session(sid.raw()).stream(cid.raw()),
+                    r.epoch as i64,
+                );
                 affected.push((*sid, *cid));
             }
         }
@@ -2709,8 +2812,16 @@ impl ServerActor {
         }
         for (gid, epoch) in bumped {
             self.sharing_stats.epoch_bumps += 1;
+            api.emit_val(
+                self.node,
+                Severity::Info,
+                "group_epoch",
+                Labels::NONE.stream(gid),
+                epoch as i64,
+            );
             api.send_mcast(self.node, gid, ServiceMsg::GroupEpoch { group: gid, epoch });
         }
+        self.drain_breaker_events(api);
     }
 
     fn start_stream(
@@ -3194,6 +3305,8 @@ impl ServerActor {
                 .counter_set("server.breaker_trips", l, st.breaker_trips);
             obs.registry
                 .counter_set("server.fetches_lost", l, st.fetches_lost);
+            obs.registry
+                .counter_set("server.parts_received", l, st.parts_received);
             obs.registry
                 .counter_set("server.ladder_degrades", l, st.ladder_degrades);
             obs.registry

@@ -209,9 +209,22 @@ impl App<ServiceMsg> for ServiceWorld {
             }
             // A restarted media node is a candidate replica again; streams
             // parked with every replica down re-point at it and resume.
-            FaultKind::NodeRestart { node } if self.media_nodes.contains_key(&node) => {
-                for server in self.servers.values_mut() {
-                    server.on_media_node_event(api, node);
+            //
+            // A restarted *multimedia server* is a fresh process: the engine
+            // bumped its incarnation (dropping every timer the old process
+            // armed), so whatever session state survived in the actor is
+            // unreachable RAM — wipe it exactly as a crash would. Without
+            // this, a restart not preceded by a crash (legal in a fault
+            // plan) left sessions frozen forever: their heartbeat timers
+            // died with the old incarnation, so not even the client-death
+            // reaper could run. Found by the chaos harness's shrinker.
+            FaultKind::NodeRestart { node } => {
+                if self.servers.contains_key(&node) {
+                    self.servers.get_mut(&node).unwrap().on_crash(api);
+                } else if self.media_nodes.contains_key(&node) {
+                    for server in self.servers.values_mut() {
+                        server.on_media_node_event(api, node);
+                    }
                 }
             }
             // A brownout inflates the media node's service times; the

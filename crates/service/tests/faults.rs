@@ -289,3 +289,106 @@ fn crash_after_completion_reconnects_cleanly() {
         FaultKind::NodeCrash { node } if node == srv
     ));
 }
+
+/// The hardest compound failure the reconnect path must survive: the media
+/// replica serving the session's live stream is partitioned from the
+/// backbone AND the primary server crashes inside the same window. The
+/// client's detector trips on the dead server, reconnect-and-resume
+/// rebuilds the session on the restarted process, the media tier fails the
+/// stream over off the unreachable replica — and the run must end with a
+/// completed presentation and the global invariant catalog green.
+#[test]
+fn reconnect_resumes_through_replica_partition_plus_server_crash() {
+    // Phase 1 — fault-free run to 4 s on the same seed, to learn which
+    // replica actually serves the live continuous stream.
+    let build = || {
+        let mut b = WorldBuilder::new(29);
+        let srv = b.add_server(
+            ServerId::new(0),
+            LinkSpec::lan(10_000_000),
+            ServerConfig::default(),
+        );
+        let cli = b.add_client(LinkSpec::lan(10_000_000), ClientConfig::default());
+        for _ in 0..3 {
+            b.add_media_node(LinkSpec::san(100_000_000));
+        }
+        let mut sim = b.build(29);
+        let mut rng = SimRng::seed_from_u64(99);
+        install_figure2(sim.app_mut().server_mut(srv), DocumentId::new(1), &mut rng);
+        sim.app_mut().distribute_media();
+        sim.with_api(|w, api| {
+            w.client_mut(cli)
+                .connect(api, srv, Some(DocumentId::new(1)));
+        });
+        (sim, srv, cli)
+    };
+    let serving_replica = {
+        let (mut sim, srv, _) = build();
+        sim.run_until(MediaTime::from_secs(4));
+        sim.app()
+            .server(srv)
+            .sessions
+            .values()
+            .flat_map(|s| s.streams.values())
+            .filter(|tx| !tx.done && !tx.stopped && tx.plan.kind.is_continuous())
+            .filter_map(|tx| tx.remote.as_ref().map(|r| r.replica))
+            .next()
+            .expect("no active tier-backed stream at 4 s")
+    };
+
+    // Phase 2 — same seed, same world, with the compound fault: replica
+    // partitioned 4 s → 12 s, server crashed 5 s → 6.5 s (both inside the
+    // partition window).
+    let (mut sim, srv, cli) = build();
+    let hub = hermes_core::NodeId::new(0);
+    let plan = FaultPlan::new()
+        .partition(
+            serving_replica,
+            hub,
+            MediaTime::from_secs(4),
+            MediaTime::from_secs(12),
+        )
+        .crash_for(
+            srv,
+            MediaTime::from_secs(5),
+            hermes_core::MediaDuration::from_millis(1500),
+        );
+    sim.install_faults(&plan);
+    sim.run_until(MediaTime::from_secs(60));
+    // Disconnect and drain so the lifecycle invariant sees terminal states.
+    sim.with_api(|w, api| w.client_mut(cli).disconnect(api));
+    sim.run_until(MediaTime::from_secs(62));
+
+    let client = sim.app().client(cli);
+    assert!(client.errors.is_empty(), "errors: {:?}", client.errors);
+    assert_eq!(client.completed.len(), 1, "presentation did not complete");
+    assert_eq!(
+        client.recoveries.len(),
+        1,
+        "expected one detected outage + recovery, got {:?}",
+        client.recoveries
+    );
+    let server = sim.app().server(srv);
+    assert_eq!(
+        server.rebuilt_sessions.len(),
+        1,
+        "server should have rebuilt exactly one session"
+    );
+
+    // The whole run must satisfy the global invariant catalog.
+    let stats = sim.stats();
+    sim.app().audit_media_parts(&stats);
+    sim.publish_metrics();
+    let mut obs = sim.take_obs();
+    sim.app().publish_metrics(&mut obs);
+    let cfg = hermes_simnet::obs::invariants::InvariantConfig {
+        last_fault_clear: plan.events().last().map(|e| e.at),
+        settle: hermes_core::MediaDuration::from_secs(8),
+    };
+    let violations = hermes_simnet::obs::invariants::check_run(obs.events(), &obs.registry, &cfg);
+    assert!(
+        violations.is_empty(),
+        "invariant violations: {:?}",
+        violations.iter().map(|v| v.render()).collect::<Vec<_>>()
+    );
+}

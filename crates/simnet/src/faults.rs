@@ -28,6 +28,37 @@
 
 use crate::rng::SimRng;
 use hermes_core::{MediaDuration, MediaTime, NodeId};
+use std::fmt;
+
+/// A structural defect found by [`FaultPlan::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// An event is scheduled before simulation time zero.
+    NegativeTime(FaultEvent),
+    /// A crash and its restart (or a `LinkDown`/`LinkUp`, or a
+    /// `NodeSlow`/`NodeNominal`) share the same instant for the same
+    /// subject: the fault window has zero length and the pair is pure
+    /// schedule noise.
+    ZeroLengthWindow(FaultEvent),
+    /// A `NodeSlow` with `factor < 2`: factor 1 is nominal speed and
+    /// factor 0 would *speed the node up* at apply time (the engine clamps
+    /// to 1) — either way the event does nothing.
+    UselessSlowdown(FaultEvent),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::NegativeTime(e) => write!(f, "fault scheduled before t=0: {e:?}"),
+            PlanError::ZeroLengthWindow(e) => {
+                write!(f, "zero-length fault window closed by {e:?}")
+            }
+            PlanError::UselessSlowdown(e) => write!(f, "slowdown factor < 2 does nothing: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// One kind of injectable fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +111,72 @@ pub struct FaultEvent {
     pub at: MediaTime,
     /// What happens.
     pub kind: FaultKind,
+}
+
+/// The *subject* a fault acts on: a node's process, a node's service speed,
+/// or a link. Window validation and order-preserving jitter pair an opening
+/// fault with the closing fault of the same subject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Subject {
+    Process(NodeId),
+    Speed(NodeId),
+    Link(NodeId, NodeId),
+}
+
+impl FaultKind {
+    fn subject(&self) -> Subject {
+        match *self {
+            FaultKind::NodeCrash { node } | FaultKind::NodeRestart { node } => {
+                Subject::Process(node)
+            }
+            FaultKind::NodeSlow { node, .. } | FaultKind::NodeNominal { node } => {
+                Subject::Speed(node)
+            }
+            FaultKind::LinkDown { a, b } | FaultKind::LinkUp { a, b } => {
+                Subject::Link(a.min(b), a.max(b))
+            }
+        }
+    }
+
+    /// True for the faults that *close* a window opened by their
+    /// counterpart (restart closes crash, up closes down, nominal closes
+    /// slow).
+    fn is_repair(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::NodeRestart { .. }
+                | FaultKind::LinkUp { .. }
+                | FaultKind::NodeNominal { .. }
+        )
+    }
+
+    /// Render as a ready-to-paste Rust expression.
+    fn rust_literal(&self) -> String {
+        fn n(id: NodeId) -> String {
+            format!("NodeId::new({})", id.raw())
+        }
+        match *self {
+            FaultKind::NodeCrash { node } => {
+                format!("FaultKind::NodeCrash {{ node: {} }}", n(node))
+            }
+            FaultKind::NodeRestart { node } => {
+                format!("FaultKind::NodeRestart {{ node: {} }}", n(node))
+            }
+            FaultKind::LinkDown { a, b } => {
+                format!("FaultKind::LinkDown {{ a: {}, b: {} }}", n(a), n(b))
+            }
+            FaultKind::LinkUp { a, b } => {
+                format!("FaultKind::LinkUp {{ a: {}, b: {} }}", n(a), n(b))
+            }
+            FaultKind::NodeSlow { node, factor } => format!(
+                "FaultKind::NodeSlow {{ node: {}, factor: {factor} }}",
+                n(node)
+            ),
+            FaultKind::NodeNominal { node } => {
+                format!("FaultKind::NodeNominal {{ node: {} }}", n(node))
+            }
+        }
+    }
 }
 
 /// A declarative, deterministic schedule of faults.
@@ -160,23 +257,110 @@ impl FaultPlan {
 
     /// Perturb every event time by a uniform draw from `[0, max_jitter)`.
     /// The draw comes from the supplied seeded RNG, so a jittered plan is
-    /// still fully reproducible.
+    /// still fully reproducible. Relative order *within one subject* (a
+    /// node's crash/restart pair, a link's down/up pair) is preserved: a
+    /// repair drawn to land before its fault is clamped just after it, so
+    /// jitter can never invert a window into a permanent outage.
     pub fn jittered(mut self, rng: &mut SimRng, max_jitter: MediaDuration) -> Self {
         let span = max_jitter.as_micros().max(0) as u64;
         if span > 0 {
+            let mut floor: Vec<(Subject, MediaTime)> = Vec::new();
             for ev in &mut self.events {
                 ev.at += MediaDuration::from_micros(rng.range_u64(0, span) as i64);
+                let subject = ev.kind.subject();
+                match floor.iter_mut().find(|(s, _)| *s == subject) {
+                    Some((_, t)) => {
+                        if ev.at <= *t {
+                            ev.at = *t + MediaDuration::from_micros(1);
+                        }
+                        *t = ev.at;
+                    }
+                    None => floor.push((subject, ev.at)),
+                }
             }
         }
         self
     }
 
-    /// The scheduled events, sorted by time (stable: ties keep plan order,
-    /// so a `crash`+`restart` at the same instant applies in that order).
+    /// The scheduled events, sorted by time.
+    ///
+    /// **Same-tick ordering guarantee:** the sort is stable, so events at
+    /// the same instant apply in *plan order* (the order the builder calls
+    /// appended them). A `crash` followed by a `restart` at the same
+    /// instant crashes first; [`crate::Sim::install_faults`] preserves this
+    /// order on the timer wheel via the engine's FIFO sequence numbers.
     pub fn events(&self) -> Vec<FaultEvent> {
         let mut evs = self.events.clone();
         evs.sort_by_key(|e| e.at);
         evs
+    }
+
+    /// Borrow the raw events in plan (builder) order, unsorted.
+    pub fn raw_events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Rebuild a plan from an explicit event list (plan order = list
+    /// order). The shrinker uses this to re-assemble candidate subsets.
+    pub fn from_events(events: Vec<FaultEvent>) -> Self {
+        FaultPlan { events }
+    }
+
+    /// Structural validation: rejects events scheduled before t=0,
+    /// zero-length fault windows (a repair at the same instant as the fault
+    /// it closes), and useless slowdown factors. Returns the first defect
+    /// found in time order.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        let mut open: Vec<(Subject, MediaTime)> = Vec::new();
+        for ev in self.events() {
+            if ev.at < MediaTime::ZERO {
+                return Err(PlanError::NegativeTime(ev));
+            }
+            if let FaultKind::NodeSlow { factor, .. } = ev.kind {
+                if factor < 2 {
+                    return Err(PlanError::UselessSlowdown(ev));
+                }
+            }
+            let subject = ev.kind.subject();
+            if ev.kind.is_repair() {
+                if let Some(pos) = open.iter().position(|(s, _)| *s == subject) {
+                    let (_, opened_at) = open.remove(pos);
+                    if opened_at == ev.at {
+                        return Err(PlanError::ZeroLengthWindow(ev));
+                    }
+                }
+            } else {
+                match open.iter_mut().find(|(s, _)| *s == subject) {
+                    Some((_, t)) => *t = ev.at,
+                    None => open.push((subject, ev.at)),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A cleaned copy: events sorted by time (stable, keeping plan order
+    /// within a tick) with *identical* adjacent events — same instant, same
+    /// kind — deduplicated. Duplicates are idempotent at apply time, so
+    /// dropping them changes nothing except schedule size.
+    pub fn normalized(&self) -> FaultPlan {
+        let mut evs = self.events();
+        evs.dedup();
+        FaultPlan { events: evs }
+    }
+
+    /// Render the plan as a ready-to-paste `FaultPlan` builder expression
+    /// (the shrinker's minimal-repro output format).
+    pub fn to_rust_literal(&self) -> String {
+        let mut s = String::from("FaultPlan::new()");
+        for ev in self.events() {
+            s.push_str(&format!(
+                "\n    .at(MediaTime::from_micros({}), {})",
+                ev.at.as_micros(),
+                ev.kind.rust_literal()
+            ));
+        }
+        s
     }
 
     /// Number of scheduled events.
@@ -278,5 +462,93 @@ mod tests {
         let evs = plan.events();
         assert!(matches!(evs[0].kind, FaultKind::NodeRestart { .. }));
         assert!(matches!(evs[1].kind, FaultKind::NodeCrash { .. }));
+    }
+
+    #[test]
+    fn validate_rejects_zero_length_windows() {
+        let t = MediaTime::from_secs(2);
+        let plan = FaultPlan::new().crash_for(n(1), t, MediaDuration::ZERO);
+        assert!(matches!(
+            plan.validate(),
+            Err(PlanError::ZeroLengthWindow(_))
+        ));
+        let plan = FaultPlan::new().partition(n(0), n(2), t, t);
+        assert!(matches!(
+            plan.validate(),
+            Err(PlanError::ZeroLengthWindow(_))
+        ));
+        // A healthy window passes; so does a crash with no restart.
+        assert!(FaultPlan::new()
+            .crash_for(n(1), t, MediaDuration::from_millis(1))
+            .validate()
+            .is_ok());
+        assert!(FaultPlan::new().crash(n(1), t).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_negative_time_and_useless_slowdown() {
+        let plan = FaultPlan::new().crash(n(1), MediaTime::from_micros(-1));
+        assert!(matches!(plan.validate(), Err(PlanError::NegativeTime(_))));
+        let plan = FaultPlan::new().slow(n(1), MediaTime::from_secs(1), 1);
+        assert!(matches!(
+            plan.validate(),
+            Err(PlanError::UselessSlowdown(_))
+        ));
+    }
+
+    #[test]
+    fn normalized_dedups_identical_events() {
+        let t = MediaTime::from_secs(3);
+        let plan = FaultPlan::new()
+            .crash(n(1), t)
+            .crash(n(1), t)
+            .crash(n(2), t);
+        let norm = plan.normalized();
+        assert_eq!(norm.len(), 2);
+        // Distinct events at the same tick survive.
+        assert_eq!(norm.events()[1].kind, FaultKind::NodeCrash { node: n(2) });
+    }
+
+    #[test]
+    fn jitter_preserves_per_subject_order() {
+        // A tight crash window under heavy jitter: the restart must never
+        // land at or before the crash, whatever the draws.
+        for seed in 0..50 {
+            let plan = FaultPlan::new()
+                .crash_for(n(2), MediaTime::from_secs(1), MediaDuration::from_millis(5))
+                .jittered(
+                    &mut SimRng::seed_from_u64(seed),
+                    MediaDuration::from_secs(1),
+                );
+            let evs = plan.raw_events();
+            assert!(
+                evs[0].at < evs[1].at,
+                "seed {seed}: restart at {:?} not after crash at {:?}",
+                evs[1].at,
+                evs[0].at
+            );
+            assert!(plan.validate().is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rust_literal_is_ready_to_paste() {
+        let plan = FaultPlan::new()
+            .crash(n(3), MediaTime::from_millis(1500))
+            .slow(n(4), MediaTime::from_secs(2), 8);
+        let lit = plan.to_rust_literal();
+        assert!(lit.starts_with("FaultPlan::new()"));
+        assert!(lit.contains(
+            ".at(MediaTime::from_micros(1500000), FaultKind::NodeCrash { node: NodeId::new(3) })"
+        ));
+        assert!(lit.contains("FaultKind::NodeSlow { node: NodeId::new(4), factor: 8 }"));
+    }
+
+    #[test]
+    fn from_events_round_trips() {
+        let plan =
+            FaultPlan::new().crash_for(n(1), MediaTime::from_secs(5), MediaDuration::from_secs(2));
+        let rebuilt = FaultPlan::from_events(plan.raw_events().to_vec());
+        assert_eq!(plan, rebuilt);
     }
 }

@@ -15,6 +15,9 @@
 //!   (store-and-forward, per-hop queueing, ARQ with backoff);
 //! * [`faults`] — deterministic fault injection: scheduled node
 //!   crash/restart, link partition/heal and link flapping;
+//! * [`chaos`] — seeded random fault-plan generation (crash storms,
+//!   rolling restarts, partitions, flaps, brownouts with correlated
+//!   bursts) and delta-debugging shrinking of failing plans;
 //! * [`metrics`] — accumulators, histograms and rate meters (re-exported
 //!   from [`hermes_obs::stats`]).
 //!
@@ -26,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod faults;
 pub mod metrics;
 pub mod models;
@@ -33,7 +37,8 @@ pub mod rng;
 pub mod sim;
 pub mod topology;
 
-pub use faults::{FaultEvent, FaultKind, FaultPlan};
+pub use chaos::{ChaosProfile, ChaosTargets, IncidentWeights};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, PlanError};
 pub use hermes_obs::{self as obs, Event, Labels, Obs, Severity, SpanId};
 pub use metrics::{Accumulator, DurationHistogram, RateMeter};
 pub use models::{CongestionEpoch, CongestionProfile, JitterModel, LossModel, LossState};
